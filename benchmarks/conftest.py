@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one paper artifact (figure or claim) via its
+experiment module, asserts the reproduction's shape checks, and prints the
+tables so a ``pytest benchmarks/ --benchmark-only -s`` run reproduces the
+whole evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult
+
+
+def check_and_report(result: ExperimentResult) -> None:
+    """Print the experiment's tables and fail on any unmet shape check."""
+    print()
+    print(result.render())
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{result.experiment_id} shape checks failed: {failed}"

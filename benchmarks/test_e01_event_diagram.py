@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E01 (see DESIGN.md)."""
+
+from repro.experiments.e01_event_diagram import run_e01
+
+from conftest import check_and_report
+
+
+def test_e01_event_diagram(benchmark):
+    result = benchmark.pedantic(run_e01, rounds=1, iterations=1)
+    check_and_report(result)

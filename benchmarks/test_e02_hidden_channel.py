@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E02 (see DESIGN.md)."""
+
+from repro.experiments.e02_hidden_channel import run_e02
+
+from conftest import check_and_report
+
+
+def test_e02_hidden_channel(benchmark):
+    result = benchmark.pedantic(run_e02, rounds=1, iterations=1)
+    check_and_report(result)

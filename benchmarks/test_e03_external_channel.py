@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E03 (see DESIGN.md)."""
+
+from repro.experiments.e03_external_channel import run_e03
+
+from conftest import check_and_report
+
+
+def test_e03_external_channel(benchmark):
+    result = benchmark.pedantic(run_e03, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E04 (see DESIGN.md)."""
+
+from repro.experiments.e04_trading import run_e04
+
+from conftest import check_and_report
+
+
+def test_e04_trading(benchmark):
+    result = benchmark.pedantic(run_e04, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E05 (see DESIGN.md)."""
+
+from repro.experiments.e05_scaling import run_e05
+
+from conftest import check_and_report
+
+
+def test_e05_buffering(benchmark):
+    result = benchmark.pedantic(run_e05, rounds=1, iterations=1)
+    check_and_report(result)

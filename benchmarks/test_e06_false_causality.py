@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E06 (see DESIGN.md)."""
+
+from repro.experiments.e06_false_causality import run_e06
+
+from conftest import check_and_report
+
+
+def test_e06_false_causality(benchmark):
+    result = benchmark.pedantic(run_e06, rounds=1, iterations=1)
+    check_and_report(result)

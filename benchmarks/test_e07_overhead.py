@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E07 (see DESIGN.md)."""
+
+from repro.experiments.e07_overhead import run_e07
+
+from conftest import check_and_report
+
+
+def test_e07_overhead(benchmark):
+    result = benchmark.pedantic(run_e07, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E08 (see DESIGN.md)."""
+
+from repro.experiments.e08_detection import run_e08
+
+from conftest import check_and_report
+
+
+def test_e08_detection(benchmark):
+    result = benchmark.pedantic(run_e08, rounds=1, iterations=1)
+    check_and_report(result)

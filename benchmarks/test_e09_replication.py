@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E09 (see DESIGN.md)."""
+
+from repro.experiments.e09_replication import run_e09
+
+from conftest import check_and_report
+
+
+def test_e09_replication(benchmark):
+    result = benchmark.pedantic(run_e09, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E10 (see DESIGN.md)."""
+
+from repro.experiments.e10_realtime import run_e10
+
+from conftest import check_and_report
+
+
+def test_e10_realtime(benchmark):
+    result = benchmark.pedantic(run_e10, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E11 (see DESIGN.md)."""
+
+from repro.experiments.e11_drilling import run_e11
+
+from conftest import check_and_report
+
+
+def test_e11_drilling(benchmark):
+    result = benchmark.pedantic(run_e11, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E12 (see DESIGN.md)."""
+
+from repro.experiments.e12_rpc_deadlock import run_e12
+
+from conftest import check_and_report
+
+
+def test_e12_rpc_deadlock(benchmark):
+    result = benchmark.pedantic(run_e12, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E13 (see DESIGN.md)."""
+
+from repro.experiments.e13_membership import run_e13
+
+from conftest import check_and_report
+
+
+def test_e13_membership(benchmark):
+    result = benchmark.pedantic(run_e13, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E14 (see DESIGN.md)."""
+
+from repro.experiments.e14_netnews import run_e14
+
+from conftest import check_and_report
+
+
+def test_e14_netnews(benchmark):
+    result = benchmark.pedantic(run_e14, rounds=1, iterations=1)
+    check_and_report(result)

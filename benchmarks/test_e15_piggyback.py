@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for ablation E15 (see DESIGN.md)."""
+
+from repro.experiments.e15_piggyback import run_e15
+
+from conftest import check_and_report
+
+
+def test_e15_piggyback(benchmark):
+    result = benchmark.pedantic(run_e15, rounds=1, iterations=1)
+    check_and_report(result)

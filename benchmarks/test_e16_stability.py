@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for ablation E16 (see DESIGN.md)."""
+
+from repro.experiments.e16_stability import run_e16
+
+from conftest import check_and_report
+
+
+def test_e16_stability(benchmark):
+    result = benchmark.pedantic(run_e16, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for ablation E17 (see DESIGN.md)."""
+
+from repro.experiments.e17_partitioning import run_e17
+
+from conftest import check_and_report
+
+
+def test_e17_partitioning(benchmark):
+    result = benchmark.pedantic(run_e17, rounds=1, iterations=1)
+    check_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E18 (see DESIGN.md)."""
+
+from repro.experiments.e18_netnews_causal import run_e18
+
+from conftest import check_and_report
+
+
+def test_e18_netnews_causal(benchmark):
+    result = benchmark.pedantic(run_e18, rounds=1, iterations=1)
+    check_and_report(result)

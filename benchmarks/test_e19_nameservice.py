@@ -1,0 +1,10 @@
+"""Benchmark/reproduction target for experiment E19 (see DESIGN.md)."""
+
+from repro.experiments.e19_nameservice import run_e19
+
+from conftest import check_and_report
+
+
+def test_e19_nameservice(benchmark):
+    result = benchmark.pedantic(run_e19, rounds=1, iterations=1)
+    check_and_report(result)

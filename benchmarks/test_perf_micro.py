@@ -1,0 +1,103 @@
+"""Performance microbenchmarks of the library itself.
+
+Unlike the E* reproduction targets (one deterministic run each), these are
+true repeated-measurement benchmarks: simulator event throughput, multicast
+processing cost per ordering discipline, and clock-comparison hot paths.
+They catch performance regressions in the substrate that every experiment
+stands on.
+"""
+
+from repro.catocs import build_group
+from repro.ordering import MatrixClock, VectorClock
+from repro.sim import LinkModel, Network, Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    def run():
+        sim = Simulator(seed=0)
+
+        def chain(n):
+            if n:
+                sim.call_later(1.0, chain, n - 1)
+
+        sim.call_at(0.0, chain, 5000)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events >= 5000
+
+
+def test_network_send_deliver_throughput(benchmark):
+    from repro.sim import Process
+
+    class Sink(Process):
+        count = 0
+
+        def on_message(self, src, payload):
+            self.count += 1
+
+    def run():
+        sim = Simulator(seed=0)
+        net = Network(sim, LinkModel(latency=1.0, jitter=0.5))
+        a = Sink(sim, net, "a")
+        b = Sink(sim, net, "b")
+        for i in range(2000):
+            sim.call_at(float(i) * 0.1, a.send, "b", i)
+        sim.run()
+        return b.count
+
+    assert benchmark(run) == 2000
+
+
+def _group_workload(ordering, members_n=5, msgs=60):
+    sim = Simulator(seed=1)
+    net = Network(sim, LinkModel(latency=3.0, jitter=2.0))
+    pids = [f"p{i}" for i in range(members_n)]
+    members = build_group(sim, net, pids, ordering=ordering, ack_period=20.0)
+    for k in range(msgs):
+        sim.call_at(1.0 + k * 5.0, members[pids[k % members_n]].multicast, k)
+    sim.run(until=msgs * 5.0 + 500.0)
+    total = sum(len(m.delivered) for m in members.values())
+    assert total == msgs * members_n
+    return total
+
+
+def test_causal_multicast_throughput(benchmark):
+    benchmark(_group_workload, "causal")
+
+
+def test_total_seq_multicast_throughput(benchmark):
+    benchmark(_group_workload, "total-seq")
+
+
+def test_total_agreed_multicast_throughput(benchmark):
+    benchmark(_group_workload, "total-agreed")
+
+
+def test_vector_clock_merge_compare(benchmark):
+    a = VectorClock({f"p{i}": i * 7 for i in range(24)})
+    b = VectorClock({f"p{i}": i * 5 + 3 for i in range(24)})
+
+    def run():
+        out = 0
+        for _ in range(500):
+            m = a.merged(b)
+            out += (a <= m) + (b <= m) + a.concurrent_with(b)
+        return out
+
+    assert benchmark(run) == 500 * 3
+
+
+def test_matrix_clock_stability_scan(benchmark):
+    matrix = MatrixClock([f"p{i}" for i in range(16)])
+    for i in range(16):
+        matrix.update_row(f"p{i}", VectorClock({f"p{j}": j + i for j in range(16)}))
+
+    def run():
+        total = 0
+        for _ in range(200):
+            total += sum(matrix.min_vector().as_dict().values())
+        return total
+
+    assert benchmark(run) > 0

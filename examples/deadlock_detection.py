@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Deadlock detection without CATOCS (Sections 4.2 and Appendix 9.2).
+
+Part 1: two transactions deadlock under 2PL; servers multicast local
+wait-for edges with plain sequence numbers; the monitor finds the cycle,
+aborts a victim, and the survivor commits.
+
+Part 2: RPC deadlock, both detectors — van Renesse's causal event multicast
+and the paper's periodic instance-id reports — including the multi-threaded
+case where process-granularity wait-for graphs cry wolf.
+
+    python examples/deadlock_detection.py
+"""
+
+from repro.detect import (
+    Call,
+    CausalRpcDeadlockDetector,
+    DeadlockMonitor,
+    PeriodicRpcDeadlockDetector,
+    Reply,
+    RpcProcess,
+    WaitForReporter,
+    Work,
+)
+from repro.sim import LinkModel, Network, Simulator
+from repro.txn import ResourceServer, Transaction, TransactionCoordinator
+from repro.txn.coordinator import write
+
+
+def transactional_deadlock() -> None:
+    print("=== Part 1: 2PL transaction deadlock ===")
+    sim = Simulator(seed=1)
+    net = Network(sim, LinkModel(latency=3.0))
+    server = ResourceServer(sim, net, "srv", initial={"a": 0, "b": 0})
+    c1 = TransactionCoordinator(sim, net, "c1")
+    c2 = TransactionCoordinator(sim, net, "c2")
+    results = []
+    sim.call_at(1.0, c1.submit, Transaction(
+        ops=[write("srv", "a", 1), write("srv", "b", 1)],
+        on_done=results.append, max_restarts=1))
+    sim.call_at(1.0, c2.submit, Transaction(
+        ops=[write("srv", "b", 2), write("srv", "a", 2)],
+        on_done=results.append))
+
+    def resolve(cycle) -> None:
+        victim = sorted(str(n) for n in cycle)[-1]
+        print(f"  t={sim.now:7.1f}  monitor found cycle {cycle}; aborting {victim}")
+        for coordinator in (c1, c2):
+            coordinator.abort_txn(victim, "deadlock")
+
+    DeadlockMonitor(sim, net, "monitor", on_deadlock=resolve)
+    WaitForReporter(sim, net, "srv!wf", server.wait_for_edges,
+                    monitors=["monitor"], period=40.0)
+    sim.run(until=5000)
+    for result in results:
+        print(f"  {result.txn_id}: {result.status}"
+              + (f" (after {result.restarts} restart)" if result.restarts else ""))
+    print(f"  final state: a={server.store['a']} b={server.store['b']}")
+    print("  Note: edge reports used nothing stronger than per-sender")
+    print("  sequence numbers — order-insensitive by the 2PL property.")
+    print()
+
+
+def rpc_deadlock() -> None:
+    print("=== Part 2: RPC deadlock — two detectors ===")
+    sim = Simulator(seed=2)
+    net = Network(sim, LinkModel(latency=4.0))
+    ring = [RpcProcess(sim, net, f"r{i}", threads=1) for i in range(3)]
+    for i, proc in enumerate(ring):
+        nxt = ring[(i + 1) % 3].pid
+        proc.register("work", lambda p, a, _n=nxt: Call(
+            dst=_n, method="work", then=lambda pr, v: Reply(v)))
+    causal_hits, periodic_hits = [], []
+    causal = CausalRpcDeadlockDetector(
+        sim, net, ring, on_deadlock=lambda c: causal_hits.append((sim.now, c)))
+    periodic = PeriodicRpcDeadlockDetector(
+        sim, net, ring, period=40.0,
+        on_deadlock=lambda c: periodic_hits.append((sim.now, c)))
+    client = RpcProcess(sim, net, "client", threads=3)
+    for proc in ring:
+        sim.call_at(1.0, client.call, proc.pid, "work")
+    sim.run(until=2000)
+    print(f"  ring deadlock: causal detector at t={causal_hits[0][0]:.1f} "
+          f"({causal_hits[0][1]}),")
+    print(f"                 periodic detector at t={periodic_hits[0][0]:.1f}")
+    print(f"  detection traffic: causal={causal.network_messages()} msgs "
+          f"(2 multicasts x group per RPC), periodic={periodic.network_messages()}")
+    print()
+
+    print("  Multi-threaded servers, crossing calls (NO real deadlock):")
+    sim2 = Simulator(seed=3)
+    net2 = Network(sim2, LinkModel(latency=4.0))
+    a = RpcProcess(sim2, net2, "A", threads=2)
+    b = RpcProcess(sim2, net2, "B", threads=2)
+    for proc, other in ((a, "B"), (b, "A")):
+        proc.register("ping", lambda p, arg, _o=other: Call(
+            dst=_o, method="work", then=lambda pr, v: Reply(v)))
+        proc.register("work", lambda p, arg: Work(80.0, then=lambda pr: Reply("ok")))
+    causal2 = CausalRpcDeadlockDetector(sim2, net2, [a, b])
+    periodic2 = PeriodicRpcDeadlockDetector(sim2, net2, [a, b], period=20.0)
+    client2 = RpcProcess(sim2, net2, "client", threads=4)
+    replies = []
+    sim2.call_at(1.0, client2.call, "A", "ping", replies.append)
+    sim2.call_at(1.0, client2.call, "B", "ping", replies.append)
+    sim2.run(until=2000)
+    print(f"    workload completed: {len(replies) == 2}")
+    print(f"    process-level graph reported deadlock: {bool(causal2.deadlocks)}"
+          "  <- false positive")
+    print(f"    instance-id graph reported deadlock:  {bool(periodic2.deadlocks)}")
+    print("  Instance identifiers (A15 -> B37) distinguish a busy")
+    print("  multi-threaded server from a blocked one; process-granularity")
+    print("  wait-for graphs cannot (Appendix 9.2).")
+
+
+def main() -> None:
+    transactional_deadlock()
+    rpc_deadlock()
+
+
+if __name__ == "__main__":
+    main()

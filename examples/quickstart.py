@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: build a CATOCS process group and watch ordering in action.
+
+Runs the same three-message workload under every delivery discipline the
+library implements, on a lossy, jittery network, and prints what each member
+actually delivered — plus the Figure 1 event diagram for the causal run.
+
+    python examples/quickstart.py
+"""
+
+from repro.catocs import build_group
+from repro.sim import EventTrace, LinkModel, Network, Simulator, render_event_diagram
+
+
+def run(ordering: str, trace: EventTrace | None = None) -> dict:
+    sim = Simulator(seed=7)
+    net = Network(sim, LinkModel(latency=6.0, jitter=10.0, drop_prob=0.05))
+    members = build_group(sim, net, ["p", "q", "r"], ordering=ordering, trace=trace)
+
+    # q announces; p reacts to the announcement (a causal chain);
+    # r chimes in concurrently.
+    def p_reacts(src, payload, msg):
+        if payload == "announcement":
+            members["p"].multicast("reaction")
+
+    members["p"].on_deliver = p_reacts
+    sim.call_at(1.0, members["q"].multicast, "announcement")
+    sim.call_at(2.0, members["r"].multicast, "aside")
+    sim.run(until=2000)
+    return {pid: m.delivered_payloads() for pid, m in members.items()}
+
+
+def main() -> None:
+    print("Same workload, every ordering discipline")
+    print("=" * 60)
+    print("q multicasts 'announcement'; p multicasts 'reaction' upon")
+    print("delivering it (causally dependent); r multicasts 'aside'")
+    print("concurrently.  Network: 6±10 latency, 5% loss (repaired).")
+    print()
+    for ordering in ("raw", "fifo", "causal", "total-seq", "total-agreed"):
+        orders = run(ordering)
+        print(f"{ordering:>13}:")
+        for pid, delivered in orders.items():
+            print(f"               {pid} delivered {delivered}")
+        if ordering == "raw":
+            print("               (raw may show 'reaction' before its cause)")
+        if ordering.startswith("total"):
+            identical = len({tuple(o) for o in orders.values()}) == 1
+            print(f"               identical at all members: {identical}")
+        print()
+
+    print("Event diagram of the causal run (the paper's Figure 1 form)")
+    print("=" * 60)
+    trace = EventTrace()
+    run("causal", trace=trace)
+    print(render_event_diagram(trace, ["p", "q", "r"]))
+
+
+if __name__ == "__main__":
+    main()

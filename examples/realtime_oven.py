@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Real-time oven monitoring (Section 4.6): sufficient consistency, two ways.
+
+The correctness of a monitoring system is the gap between its stored value
+and the world.  This example runs the same lossy sensor stream through a
+causal group (CATOCS: loss repaired in order, later readings wait) and
+through raw delivery + a latest-value register (state-level: late data is
+dropped, fresh data applies immediately), then crashes a group member to
+show the view-change stall.
+
+    python examples/realtime_oven.py
+"""
+
+from repro.apps.oven import run_oven
+
+
+def sparkline(values, lo, hi, width=60):
+    marks = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    out = []
+    for i in range(0, len(values), step):
+        v = values[i]
+        if v is None or v != v:
+            out.append("?")
+            continue
+        t = min(max((v - lo) / (hi - lo + 1e-9), 0.0), 1.0)
+        out.append(marks[int(t * (len(marks) - 1))])
+    return "".join(out)
+
+
+def main() -> None:
+    print("Oven monitoring, 8% message loss, 2000 time units")
+    print("=" * 64)
+    results = {}
+    for design in ("catocs", "state"):
+        results[design] = run_oven(design=design, drop_prob=0.08)
+    for design, result in results.items():
+        print(f"\n--- {design} ---")
+        print(f"mean staleness {result.mean_staleness:6.1f}   "
+              f"max staleness {result.max_staleness:6.1f}   "
+              f"mean |error| {result.mean_abs_error:5.2f}")
+        staleness = [p.staleness for p in result.probes
+                     if p.monitor_temp is not None]
+        print("staleness over time (darker = staler):")
+        print("  " + sparkline(staleness, 0, max(staleness)))
+    print()
+    print("Now crash an auxiliary group member at t=800:")
+    for design in ("catocs", "state"):
+        result = run_oven(design=design, drop_prob=0.08, crash_member_at=800.0)
+        print(f"  {design:>6}: send-suppression stall = "
+              f"{result.view_change_stall:5.1f}  "
+              f"(max staleness {result.max_staleness:5.1f})")
+    print()
+    print("The state-level pipeline has no group to flush: a member's death")
+    print("is irrelevant to everyone else's sensor stream (Section 4.6).")
+
+
+if __name__ == "__main__":
+    main()

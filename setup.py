@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs fail with "invalid command 'bdist_wheel'".  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,147 @@
+"""Figure 3: the fire-alarm anomaly — an external channel the network can't see.
+
+A furnace-controller process P detects a fire and multicasts a warning; the
+fire is extinguished and a separate monitor R multicasts "fire out"; the
+fire then reignites and P multicasts a second warning.  The fire itself is
+the communication channel linking these events, and it is invisible to the
+multicast substrate.  "Fire out" is causally *after* the first "fire" (R
+delivered that multicast before reporting), but *concurrent* with the second
+"fire" — so a causal (or total) delivery order in which the last message an
+observer Q receives is "fire out" is perfectly legal, and Q wrongly
+concludes the fire is out while the furnace burns.
+
+The state-level fix (Section 4.6): each report carries a real-time timestamp
+from synchronised clocks; a :class:`~repro.statelevel.realtime.LatestValueRegister`
+at the observer keeps the newest *by timestamp*, so the reignition report
+wins no matter when "fire out" straggles in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.catocs.member import GroupMember
+from repro.sim.clock import ClockSyncService, LocalClock, make_skewed_clocks
+from repro.sim.kernel import Simulator
+from repro.sim.network import LinkModel, Network
+from repro.sim.trace import EventTrace
+from repro.statelevel.realtime import LatestValueRegister, TimestampedReading
+
+
+class ExternalFire:
+    """The physical fire: a timeline of burning/out transitions.
+
+    This object is *state of the world*, not a network participant — the
+    hidden channel par excellence.
+    """
+
+    def __init__(self) -> None:
+        self.burning = False
+        self.transitions: List[tuple] = []
+
+    def set(self, now: float, burning: bool) -> None:
+        self.burning = burning
+        self.transitions.append((now, burning))
+
+
+@dataclass
+class FireAlarmResult:
+    observer_delivery_order: List[str]
+    anomaly: bool                   # last delivered report says "out" while burning
+    true_final_state: str
+    naive_final_belief: str         # believing delivery order
+    timestamped_final_belief: str   # latest-value-register fix
+    max_clock_skew: float
+    trace: EventTrace
+
+
+def run_firealarm(
+    seed: int = 0,
+    ordering: str = "causal",
+    monitor_latency: float = 120.0,
+    furnace_latency: float = 5.0,
+    clock_residual: float = 0.5,
+) -> FireAlarmResult:
+    """Execute the Figure 3 scenario.
+
+    ``monitor_latency`` (R -> Q) must exceed the gap between "fire out" and
+    the second "fire" for the anomaly to manifest; the default makes it
+    deterministic.
+    """
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=furnace_latency))
+    trace = EventTrace()
+    fire = ExternalFire()
+
+    group = ["P", "Q", "R"]
+    clocks = make_skewed_clocks(sim, group, max_offset=2.0, max_drift=1e-4)
+    sync = ClockSyncService(sim, clocks, period=50.0, residual=clock_residual)
+    sync.sync_now()
+    sync.start()
+
+    deliveries: List[str] = []
+    beliefs: List[str] = []
+    register = LatestValueRegister()
+
+    def observe(src: str, payload: Any, msg: Any) -> None:
+        deliveries.append(payload["kind"])
+        beliefs.append(payload["state"])
+        register.offer(
+            TimestampedReading(
+                source=src,
+                value=1.0 if payload["state"] == "burning" else 0.0,
+                timestamp=payload["timestamp"],
+            )
+        )
+
+    furnace = GroupMember(sim, net, "P", group="alarm", members=group,
+                          ordering=ordering, trace=trace)
+    observer = GroupMember(sim, net, "Q", group="alarm", members=group,
+                           ordering=ordering, on_deliver=observe, trace=trace)
+    monitor = GroupMember(sim, net, "R", group="alarm", members=group,
+                          ordering=ordering, trace=trace)
+
+    # R (the monitor) is slow to everyone: its "fire out" straggles behind
+    # the furnace's reports, and crucially P multicasts the second "fire"
+    # *before* delivering "fire out" — keeping the two concurrent, as in the
+    # paper's figure.  P itself reports quickly.
+    net.set_link("R", "Q", LinkModel(latency=monitor_latency))
+    net.set_link("R", "P", LinkModel(latency=monitor_latency))
+    net.set_link("P", "Q", LinkModel(latency=furnace_latency))
+
+    def furnace_report(kind: str) -> None:
+        furnace.multicast({
+            "kind": kind,
+            "state": "burning",
+            "timestamp": clocks["P"].read(),
+        })
+
+    def monitor_report() -> None:
+        monitor.multicast({
+            "kind": "fire-out",
+            "state": "out",
+            "timestamp": clocks["R"].read(),
+        })
+
+    # The external timeline: fire, extinguished, reignition.
+    sim.call_at(10.0, fire.set, 10.0, True)
+    sim.call_at(10.0, furnace_report, "fire-1")
+    sim.call_at(40.0, fire.set, 40.0, False)
+    sim.call_at(40.0, monitor_report)
+    sim.call_at(70.0, fire.set, 70.0, True)
+    sim.call_at(70.0, furnace_report, "fire-2")
+    sim.run(until=5000)
+
+    naive_belief = beliefs[-1] if beliefs else "unknown"
+    true_state = "burning" if fire.burning else "out"
+    register_belief = "burning" if register.value(0.0) >= 0.5 else "out"
+    return FireAlarmResult(
+        observer_delivery_order=deliveries,
+        anomaly=(naive_belief == "out" and true_state == "burning"),
+        true_final_state=true_state,
+        naive_final_belief=naive_belief,
+        timestamped_final_belief=register_belief,
+        max_clock_skew=sync.max_skew(),
+        trace=trace,
+    )

@@ -1,0 +1,246 @@
+"""Section 4.1: Netnews — inquiry/response ordering and the group explosion.
+
+Usenet articles propagate host-to-host by flooding with random feed delays;
+a reader can receive a response before the inquiry it answers.  The paper's
+analysis of using CATOCS here: either the whole newsgroup is one causal
+group (then *every* message sent after an inquiry is potentially delayed
+behind it), or one causal group is created per inquiry (then group count —
+and communication-system state — grows with the number of inquiries in
+flight across all of Usenet).
+
+The application-level solution: each response's "References" field names the
+inquiry's article id; the reader's local news database
+(:class:`~repro.statelevel.cache.OrderPreservingCache`) holds or flags
+out-of-order responses, with state proportional to the articles the reader
+actually sees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import LinkModel, Network
+from repro.sim.process import Process
+from repro.statelevel.cache import OrderPreservingCache
+
+
+@dataclass
+class Article:
+    article_id: str
+    newsgroup: str
+    kind: str  # "inquiry" | "response" | "chatter"
+    references: Tuple[str, ...] = ()
+    posted_at: float = 0.0
+
+    def size_bytes(self) -> int:
+        return 64 + sum(len(r) for r in self.references)
+
+
+class NewsHost(Process):
+    """A Usenet host: stores articles, floods them to its feed neighbours.
+
+    ``on_ingest`` hooks fire when an article first reaches this host — used
+    to model users who *respond to an inquiry after reading it*, the real
+    semantic causality of the scenario.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, pid: str,
+                 neighbors: Sequence[str]) -> None:
+        super().__init__(sim, network, pid)
+        self.neighbors = list(neighbors)
+        self.store: Dict[str, Article] = {}
+        self.arrival_order: List[Article] = []
+        self.on_ingest: List = []
+
+    def post(self, article: Article) -> None:
+        """Originate an article at this host."""
+        self._ingest(article, exclude=None)
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, Article):
+            self._ingest(payload, exclude=src)
+
+    def _ingest(self, article: Article, exclude: Optional[str]) -> None:
+        if article.article_id in self.store:
+            return
+        self.store[article.article_id] = article
+        self.arrival_order.append(article)
+        for neighbor in self.neighbors:
+            if neighbor != exclude:
+                self.send(neighbor, article)
+        for hook in self.on_ingest:
+            hook(self, article)
+
+
+def _ring_with_chords(pids: Sequence[str], rng) -> Dict[str, List[str]]:
+    """A connected, irregular feed topology: ring plus random chords."""
+    n = len(pids)
+    neighbors: Dict[str, Set[str]] = {pid: set() for pid in pids}
+    for i, pid in enumerate(pids):
+        nxt = pids[(i + 1) % n]
+        neighbors[pid].add(nxt)
+        neighbors[nxt].add(pid)
+    for _ in range(max(1, n // 3)):
+        a, b = rng.sample(list(pids), 2)
+        neighbors[a].add(b)
+        neighbors[b].add(a)
+    return {pid: sorted(peers) for pid, peers in neighbors.items()}
+
+
+@dataclass
+class NetnewsResult:
+    hosts: int
+    inquiries: int
+    responses: int
+    #: responses that arrived at the reader before their inquiry
+    out_of_order_at_reader: int
+    #: with the References cache: responses ever *shown* before their inquiry
+    cache_violations: int
+    #: responses the cache held back (later released)
+    cache_held: int
+    #: articles the reader received in total
+    reader_articles: int
+    #: CATOCS precision cost: one causal group per inquiry (paper's analysis)
+    causal_groups_needed: int
+    #: communication-system state those groups imply (group x member entries)
+    catocs_state_entries: int
+    #: the reader's application-level bookkeeping entries instead
+    cache_state_entries: int
+
+
+def run_netnews(
+    seed: int = 0,
+    hosts: int = 12,
+    inquiries: int = 8,
+    responses_per_inquiry: int = 2,
+    chatter: int = 20,
+    newsgroups: int = 1,
+    base_latency: float = 10.0,
+    #: per-article forwarding delay spread — models batched feed flushes,
+    #: the mechanism that made response-before-inquiry routine on Usenet
+    jitter: float = 150.0,
+    slow_link_prob: float = 0.35,
+    slow_latency: Tuple[float, float] = (150.0, 500.0),
+    horizon: float = 20_000.0,
+) -> NetnewsResult:
+    """Propagate synthetic newsgroups and measure both designs.
+
+    With ``newsgroups > 1``, inquiries are spread uniformly across groups
+    and the reader subscribes only to group 0: the reader's cache state
+    tracks the articles *of interest to the user*, while the CATOCS design
+    pays communication-system state for every inquiry in flight anywhere —
+    the Section 4.1 scaling contrast.
+    """
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=base_latency, jitter=jitter))
+    pids = [f"host{i}" for i in range(hosts)]
+    topology = _ring_with_chords(pids, sim.rng)
+    host_procs = {pid: NewsHost(sim, net, pid, topology[pid]) for pid in pids}
+    # Heterogeneous feeds: a fraction of links are slow batch connections
+    # (the dial-up/UUCP reality that made Usenet reordering commonplace).
+    for a, peers in topology.items():
+        for b in peers:
+            if a < b:
+                if sim.rng.random() < slow_link_prob:
+                    lo, hi = slow_latency
+                    model = LinkModel(latency=sim.rng.uniform(lo, hi), jitter=jitter)
+                else:
+                    model = LinkModel(latency=base_latency, jitter=jitter)
+                net.set_link_symmetric(a, b, model)
+    reader_pid = pids[0]
+    ids = itertools.count(1)
+
+    # -- workload -------------------------------------------------------------------
+    # Responses are posted by a user at another host *after reading the
+    # inquiry there* — the semantic causal chain the transport cannot see.
+    inquiry_ids: List[str] = []
+    responders_for: Dict[str, List[str]] = {}
+    for i in range(inquiries):
+        article_id = f"<inq{next(ids)}>"
+        inquiry_ids.append(article_id)
+        origin = pids[sim.rng.randrange(1, hosts)]  # not the reader
+        post_at = sim.rng.uniform(0, 500)
+        sim.call_at(
+            post_at,
+            host_procs[origin].post,
+            Article(article_id=article_id, newsgroup=f"g{i % newsgroups}",
+                    kind="inquiry", posted_at=post_at),
+        )
+        responders_for[article_id] = [
+            pids[sim.rng.randrange(1, hosts)] for _ in range(responses_per_inquiry)
+        ]
+
+    def maybe_respond(host: NewsHost, article: Article) -> None:
+        if article.kind != "inquiry":
+            return
+        for responder in responders_for.get(article.article_id, ()):
+            if responder != host.pid:
+                continue
+            response_id = f"<resp{next(ids)}>"
+            think_time = sim.rng.uniform(5.0, 60.0)
+            sim.call_later(
+                think_time,
+                host.post,
+                Article(article_id=response_id, newsgroup=article.newsgroup,
+                        kind="response", references=(article.article_id,),
+                        posted_at=sim.now + think_time),
+            )
+
+    for host in host_procs.values():
+        host.on_ingest.append(maybe_respond)
+    for j in range(chatter):
+        article_id = f"<chat{next(ids)}>"
+        origin = pids[sim.rng.randrange(hosts)]
+        post_at = sim.rng.uniform(0, 700)
+        sim.call_at(
+            post_at,
+            host_procs[origin].post,
+            Article(article_id=article_id, newsgroup=f"g{j % newsgroups}",
+                    kind="chatter", posted_at=post_at),
+        )
+
+    sim.run(until=horizon)
+
+    # -- reader-side analysis -----------------------------------------------------------
+    reader = host_procs[reader_pid]
+    seen: Set[str] = set()
+    out_of_order = 0
+    cache = OrderPreservingCache(show_out_of_order=False)
+    cache_violations = 0
+    held_ever = 0
+    shown_before_dep = 0
+    for article in reader.arrival_order:
+        if article.newsgroup != "g0":
+            # The reader only subscribes to group 0; other groups' articles
+            # pass through the host but never enter the user's database.
+            continue
+        if article.kind == "response" and article.references:
+            if article.references[0] not in seen:
+                out_of_order += 1
+        seen.add(article.article_id)
+        before = len(cache.surfaced_log)
+        surfaced = cache.insert(article.article_id, article,
+                                deps=article.references, now=sim.now)
+        if not surfaced or surfaced[0].item_id != article.article_id:
+            held_ever += 1
+        for entry in surfaced:
+            shown = entry.value
+            if shown.kind == "response" and shown.references:
+                if cache.get(shown.references[0]) is None or not cache.get(shown.references[0]).surfaced:
+                    cache_violations += 1
+
+    return NetnewsResult(
+        hosts=hosts,
+        inquiries=inquiries,
+        responses=inquiries * responses_per_inquiry,
+        out_of_order_at_reader=out_of_order,
+        cache_violations=cache_violations,
+        cache_held=held_ever,
+        reader_articles=len(reader.arrival_order),
+        causal_groups_needed=inquiries,
+        catocs_state_entries=inquiries * hosts,
+        cache_state_entries=cache.state_size(),
+    )

@@ -1,0 +1,178 @@
+"""Figure 2: the shop-floor control system with a shared-database hidden channel.
+
+Two instances of a Shop Floor Control (SFC) service share a database.
+Client A asks instance 1 to *start* processing lot A; afterwards client B
+asks instance 2 to *stop* it.  Each instance updates the shared database
+(request/reply traffic the multicast substrate cannot see) and then
+multicasts its result to the observers' process group.
+
+The database serialises the requests — start then stop, versions 1 then 2 —
+creating a semantic causal relationship *through the hidden channel*.  The
+two multicasts, however, are concurrent in the happens-before relation on
+group messages, so causal (or total) multicast may deliver "stop" before
+"start": an observer applying notifications in delivery order concludes the
+lot is running when it is stopped.
+
+The fix needs no CATOCS at all: the database stamps each lot-status record
+with its version, and observers apply notifications through a
+:class:`~repro.statelevel.versions.PrescriptiveOrderer`, which discards the
+stale "start" when it trails the newer "stop".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.catocs.member import GroupMember
+from repro.sim.kernel import Simulator
+from repro.sim.network import LinkModel, Network
+from repro.sim.process import Process
+from repro.sim.trace import EventTrace
+from repro.statelevel.versions import PrescriptiveOrderer, VersionedStore, VersionedValue
+
+
+@dataclass
+class DbRequest:
+    op: str  # "start" | "stop"
+    lot: str
+
+
+@dataclass
+class DbReply:
+    op: str
+    lot: str
+    status: str
+    version: int
+
+
+class SharedDatabase(Process):
+    """The common database: serialises lot-status updates, stamps versions."""
+
+    def __init__(self, sim: Simulator, network: Network, pid: str = "db") -> None:
+        super().__init__(sim, network, pid)
+        self.store = VersionedStore()
+        self.commit_order: List[str] = []
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if not isinstance(payload, DbRequest):
+            return
+        status = "running" if payload.op == "start" else "stopped"
+        record = self.store.write(f"lot:{payload.lot}", status)
+        self.commit_order.append(payload.op)
+        self.send(
+            src,
+            DbReply(op=payload.op, lot=payload.lot, status=status, version=record.version),
+        )
+
+
+class SfcInstance(GroupMember):
+    """One Shop Floor Control instance: group member + database client."""
+
+    def __init__(self, sim: Simulator, network: Network, pid: str, group_members: Sequence[str],
+                 db_pid: str, ordering: str, trace: Optional[EventTrace] = None) -> None:
+        super().__init__(
+            sim, network, pid, group="sfc", members=group_members,
+            ordering=ordering, trace=trace,
+        )
+        self.db_pid = db_pid
+
+    def handle_request(self, request: DbRequest) -> None:
+        """A client request arrives: update the shared DB, then broadcast."""
+        self.send(self.db_pid, request)
+
+    def on_app_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, DbRequest):
+            self.handle_request(payload)
+            return
+        if isinstance(payload, DbReply):
+            # DB has committed: broadcast the result to the group.
+            self.multicast(
+                {
+                    "kind": payload.op,
+                    "lot": payload.lot,
+                    "status": payload.status,
+                    "version": payload.version,
+                }
+            )
+
+
+@dataclass
+class ShopFloorResult:
+    """Outcome of one Figure 2 run."""
+
+    db_commit_order: List[str]
+    observer_delivery_order: List[str]
+    anomaly: bool  # delivery order contradicts DB (semantic) order
+    naive_final_status: str  # believing delivery order
+    versioned_final_status: str  # applying the PrescriptiveOrderer fix
+    stale_discarded: int
+    trace: EventTrace
+
+
+def run_shopfloor(
+    seed: int = 0,
+    ordering: str = "causal",
+    slow_instance_latency: float = 80.0,
+    fast_instance_latency: float = 5.0,
+    stop_delay: float = 7.0,
+) -> ShopFloorResult:
+    """Execute the Figure 2 scenario.
+
+    ``slow_instance_latency`` is the link delay from SFC instance 1 (which
+    handles "start") to the observer; asymmetry between it and
+    ``fast_instance_latency`` is what lets the network invert the hidden
+    semantic order.
+    """
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=fast_instance_latency))
+    trace = EventTrace()
+    db = SharedDatabase(sim, net, "db")
+
+    group = ["sfc1", "sfc2", "clientB"]
+    sfc1 = SfcInstance(sim, net, "sfc1", group, db_pid="db", ordering=ordering, trace=trace)
+    sfc2 = SfcInstance(sim, net, "sfc2", group, db_pid="db", ordering=ordering, trace=trace)
+
+    # Client B doubles as the observing group member (as in the figure,
+    # where both clients receive the broadcasts).
+    naive = PrescriptiveOrderer()   # what a version-aware observer computes
+    delivery_order: List[str] = []
+    naive_status: List[str] = []
+
+    def observe(src: str, payload: Any, msg: Any) -> None:
+        delivery_order.append(payload["kind"])
+        naive_status.append(payload["status"])
+        naive.offer(
+            VersionedValue(key=f"lot:{payload['lot']}", value=payload["status"],
+                           version=payload["version"])
+        )
+
+    observer = GroupMember(
+        sim, net, "clientB", group="sfc", members=group,
+        ordering=ordering, on_deliver=observe, trace=trace,
+    )
+
+    # The hidden-channel asymmetry: instance 1's outbound links crawl (to the
+    # observer *and* to instance 2 — otherwise instance 2 would deliver the
+    # "start" broadcast before multicasting "stop", accidentally handing the
+    # semantic order to the causal layer), while instance 2's links fly.
+    net.set_link("sfc1", "clientB", LinkModel(latency=slow_instance_latency))
+    net.set_link("sfc1", "sfc2", LinkModel(latency=slow_instance_latency))
+    net.set_link("sfc2", "clientB", LinkModel(latency=fast_instance_latency))
+
+    # Client A's "start" to instance 1, then client B's "stop" to instance 2
+    # (sent only after the start has committed at the database).
+    sim.call_at(0.0, sfc1.handle_request, DbRequest(op="start", lot="A"))
+    sim.call_at(stop_delay, sfc2.handle_request, DbRequest(op="stop", lot="A"))
+    sim.run(until=5000)
+
+    anomaly = delivery_order == ["stop", "start"]
+    return ShopFloorResult(
+        db_commit_order=list(db.commit_order),
+        observer_delivery_order=delivery_order,
+        anomaly=anomaly,
+        naive_final_status=naive_status[-1] if naive_status else "unknown",
+        versioned_final_status=str(naive.value("lot:A", "unknown")),
+        stale_discarded=naive.discarded_stale,
+        trace=trace,
+    )

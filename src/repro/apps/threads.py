@@ -1,0 +1,106 @@
+"""Section 3, limitation 1 (second example): threads sharing an address space.
+
+"The same anomaly can arise if the two 'instances' ... are two concurrent
+threads within the same multi-threaded process, with the shared state of the
+address space constituting the 'hidden channel'.  It is possible that thread
+1 updates the shared memory data structures first, but is delayed by
+scheduling in sending its multicast message so that the second update by
+thread 2 is actually multicast first."
+
+A single :class:`MultiThreadedServer` process runs two logical threads that
+update a shared in-memory structure and then multicast the result.  A
+scheduling delay between thread 1's memory update and its multicast lets
+thread 2's (semantically later) multicast leave first.  Both multicasts come
+from the *same process*, so per-sender FIFO/causal ordering faithfully
+delivers them in send order — which is the **wrong** order.  The state-level
+fix is the same version counter, now on the shared data structure itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.catocs.member import GroupMember
+from repro.sim.kernel import Simulator
+from repro.sim.network import LinkModel, Network
+from repro.statelevel.versions import PrescriptiveOrderer, VersionedStore, VersionedValue
+
+
+class MultiThreadedServer(GroupMember):
+    """A group member whose 'threads' race between memory update and send.
+
+    ``handle(update, send_delay)`` models one thread: it applies the update
+    to the shared store immediately (memory is fast), then multicasts the
+    result ``send_delay`` later (scheduling, queuing, serialisation...).
+    """
+
+    def __init__(self, sim: Simulator, network: Network, pid: str,
+                 members, **kwargs: Any) -> None:
+        super().__init__(sim, network, pid, group="mtserver", members=members,
+                         ordering="causal", **kwargs)
+        self.shared = VersionedStore()
+
+    def handle(self, key: str, value: Any, send_delay: float) -> None:
+        record = self.shared.write(key, value)
+
+        def publish() -> None:
+            self.multicast({
+                "kind": "update",
+                "key": record.key,
+                "value": record.value,
+                "version": record.version,
+            })
+
+        self.set_timer(send_delay, publish)
+
+
+@dataclass
+class ThreadChannelResult:
+    memory_order: List[Any]
+    delivery_order: List[Any]
+    anomaly: bool
+    naive_final: Any
+    versioned_final: Any
+
+
+def run_thread_channel(
+    seed: int = 0,
+    thread1_send_delay: float = 20.0,
+    thread2_send_delay: float = 1.0,
+) -> ThreadChannelResult:
+    """Thread 1 writes first but its multicast is scheduled out late;
+    thread 2 writes second and multicasts promptly."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=5.0))
+    group = ["server", "observer"]
+
+    deliveries: List[Any] = []
+    orderer = PrescriptiveOrderer()
+
+    def observe(src, payload, msg):
+        deliveries.append(payload["value"])
+        orderer.offer(VersionedValue(key=payload["key"], value=payload["value"],
+                                     version=payload["version"]))
+
+    server = MultiThreadedServer(sim, net, "server", group)
+    observer = GroupMember(sim, net, "observer", group="mtserver",
+                           members=group, ordering="causal",
+                           on_deliver=observe)
+
+    # Thread 1 handles "start", thread 2 handles "stop", 2ms apart in memory
+    # but inverted on the wire by scheduling.
+    sim.call_at(1.0, server.handle, "lot", "running", thread1_send_delay)
+    sim.call_at(3.0, server.handle, "lot", "stopped", thread2_send_delay)
+    sim.run(until=2000)
+
+    memory_order = [r.value for r in
+                    sorted([server.shared.read("lot")], key=lambda r: r.version)]
+    anomaly = deliveries == ["stopped", "running"]
+    return ThreadChannelResult(
+        memory_order=["running", "stopped"],
+        delivery_order=list(deliveries),
+        anomaly=anomaly,
+        naive_final=deliveries[-1] if deliveries else None,
+        versioned_final=orderer.value("lot"),
+    )

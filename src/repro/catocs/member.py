@@ -1,0 +1,396 @@
+"""A process-group member: the public CATOCS endpoint.
+
+:class:`GroupMember` composes the reliable transport
+(:mod:`repro.catocs.transport`) with an ordering discipline
+(:mod:`repro.catocs.ordering_layers`) and exposes the API the CATOCS
+literature advertises::
+
+    member = GroupMember(sim, net, "p1", group="g", members=["p1","p2","p3"],
+                         ordering="causal", on_deliver=handler)
+    member.multicast({"kind": "update", ...})
+
+Delivery callbacks fire in the discipline's order.  Every member records
+per-message delivery latency and delay-queue residency, the raw material for
+the false-causality (E06) and overhead (E07) experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.catocs.messages import (
+    AckGossip,
+    CommitRequest,
+    DataMessage,
+    FlushAck,
+    FlushRequest,
+    Heartbeat,
+    JoinRequest,
+    LeaveAnnounce,
+    MsgId,
+    Nak,
+    OrderToken,
+    OrderTokenRequest,
+    PriorityCommit,
+    PriorityProposal,
+    ProposalRequest,
+    ViewInstall,
+)
+from repro.catocs.ordering_layers import make_ordering
+from repro.catocs.transport import GroupTransport
+from repro.ordering.causal_graph import CausalGraph
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.trace import EventTrace
+
+DeliverCallback = Callable[[str, Any, DataMessage], None]
+
+_ORDERING_CONTROL = (
+    OrderToken,
+    OrderTokenRequest,
+    PriorityProposal,
+    PriorityCommit,
+    CommitRequest,
+    ProposalRequest,
+)
+_MEMBERSHIP_CONTROL = (
+    Heartbeat,
+    JoinRequest,
+    LeaveAnnounce,
+    FlushRequest,
+    FlushAck,
+    ViewInstall,
+)
+
+
+class GroupInstrumentation:
+    """Group-wide view of the Section 5 active causal graph.
+
+    Shared by all members of one group.  ``on_send`` inserts each multicast
+    with arcs to its direct causal predecessors (the latest unstable message
+    from every sender its vector clock covers — the "N new arcs" of the
+    paper's argument); ``on_stable`` removes messages once *some* member
+    learns they are stable everywhere.
+    """
+
+    def __init__(self) -> None:
+        self.graph = CausalGraph()
+        self._stabilized: set = set()
+
+    def on_send(self, msg: DataMessage) -> None:
+        predecessors = set()
+        if msg.vc is not None:
+            for pid in msg.vc:
+                count = msg.vc[pid]
+                if count >= 1 and pid != msg.sender:
+                    predecessors.add((pid, count))
+                elif pid == msg.sender and count >= 2:
+                    predecessors.add((pid, count - 1))
+        self.graph.add_message(msg.msg_id, predecessors, size=msg.size_bytes())
+
+    def on_stable(self, msg_id: MsgId) -> None:
+        if msg_id in self._stabilized:
+            return
+        self._stabilized.add(msg_id)
+        self.graph.stabilize(msg_id)
+
+    def metrics(self) -> Dict[str, int]:
+        return self.graph.metrics()
+
+
+@dataclass
+class DeliveryRecord:
+    """One delivered application message, with its timing breakdown."""
+
+    msg_id: MsgId
+    sender: str
+    payload: Any
+    sent_at: float
+    delivered_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class GroupMember(Process):
+    """One participant in a CATOCS process group."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pid: str,
+        group: str,
+        members: Sequence[str],
+        ordering: str = "causal",
+        on_deliver: Optional[DeliverCallback] = None,
+        nak_delay: float = 5.0,
+        ack_period: float = 20.0,
+        instrumentation: Optional[GroupInstrumentation] = None,
+        trace: Optional[EventTrace] = None,
+        piggyback_causal: bool = False,
+    ) -> None:
+        super().__init__(sim, network, pid)
+        self.group = group
+        self.view_id = 0
+        self.view_members: Tuple[str, ...] = tuple(members)
+        if pid not in self.view_members:
+            raise ValueError(f"{pid} not in group membership {members}")
+        self.on_deliver = on_deliver
+        self.instrumentation = instrumentation
+        self.trace = trace
+
+        self.ordering_name = ordering
+        self.ordering = make_ordering(ordering, self)
+        #: Footnote 4 alternative to delaying: attach unstable causal
+        #: predecessors to every outgoing data message.  Only meaningful
+        #: with causal-family orderings.
+        self.piggyback_causal = piggyback_causal
+        self.piggybacked_bytes = 0
+        self.transport = GroupTransport(self, nak_delay=nak_delay, ack_period=ack_period)
+        if instrumentation is not None:
+            self.transport.stable_hooks.append(instrumentation.on_stable)
+
+        self._next_seq = 0
+        self.delivered: List[DeliveryRecord] = []
+        self.multicasts_sent = 0
+        self.control_sent = 0
+
+        # View-change send suppression (Section 5: membership protocols
+        # "suppress the sending of new messages").
+        self.suppressed = False
+        self._suppress_queue: List[Any] = []
+        self._suppressed_since: Optional[float] = None
+        self.total_suppressed_time = 0.0
+
+        # Liveness beliefs, maintained by an attached failure detector.
+        self._suspected: set = set()
+        self.membership = None  # attached by ViewManager, if any
+        self.failure_detector = None  # attached by HeartbeatDetector, if any
+
+    # -- public API ---------------------------------------------------------------
+
+    def multicast(self, payload: Any) -> Optional[MsgId]:
+        """Multicast ``payload`` to the group under the configured ordering.
+
+        Returns the message id, or None if the member is crashed or the send
+        was queued behind a view change.
+        """
+        if not self.alive:
+            return None
+        if self.suppressed:
+            self._suppress_queue.append(payload)
+            return None
+        return self._do_multicast(payload)
+
+    def delivered_payloads(self) -> List[Any]:
+        """Payloads in delivery order (the observable the anomaly checks use)."""
+        return [record.payload for record in self.delivered]
+
+    def delivery_latencies(self) -> List[float]:
+        return [record.latency for record in self.delivered]
+
+    def sequencer_pid(self) -> str:
+        """The fixed sequencer / view coordinator: lowest live-believed pid."""
+        candidates = [p for p in self.view_members if p not in self._suspected]
+        return min(candidates) if candidates else min(self.view_members)
+
+    def believes_alive(self, pid: str) -> bool:
+        return pid not in self._suspected
+
+    def suspect(self, pid: str) -> None:
+        self._suspected.add(pid)
+
+    def unsuspect(self, pid: str) -> None:
+        self._suspected.discard(pid)
+
+    # -- sending internals -----------------------------------------------------------
+
+    def _do_multicast(self, payload: Any) -> MsgId:
+        self._next_seq += 1
+        msg = DataMessage(
+            group=self.group,
+            sender=self.pid,
+            seq=self._next_seq,
+            payload=payload,
+            sent_at=self.sim.now,
+            view_id=self.view_id,
+        )
+        self.ordering.stamp(msg)
+        if self.piggyback_causal and msg.vc is not None:
+            msg.attached = self._causal_predecessor_copies(msg)
+            self.piggybacked_bytes += sum(m.size_bytes() for m in msg.attached)
+        if self.instrumentation is not None:
+            self.instrumentation.on_send(msg)
+        if self.trace is not None:
+            self.trace.record(self.sim.now, self.pid, "send", _label(payload), msg.msg_id)
+        self.multicasts_sent += 1
+        self.transport.broadcast(msg)
+        for ready in self.ordering.accept_local(msg):
+            self._deliver(ready)
+        self._pump()
+        return msg.msg_id
+
+    def send_control(self, dst: str, payload: Any) -> None:
+        self.control_sent += 1
+        self.send(dst, payload)
+
+    def broadcast_control(self, payload: Any) -> None:
+        for pid in self.view_members:
+            if pid != self.pid:
+                self.send_control(pid, payload)
+
+    # -- receiving ----------------------------------------------------------------------
+
+    def _causal_predecessor_copies(self, msg: DataMessage) -> List[DataMessage]:
+        """Unstable messages this message causally depends on, copied
+        without their own attachments (one level is enough: a receiver that
+        processes the attachments before the carrier satisfies the carrier's
+        direct dependencies, and each attachment's own dependencies were
+        attached when *it* was sent)."""
+        assert msg.vc is not None
+        copies: List[DataMessage] = []
+        for buffered in self.transport.buffer.values():
+            if buffered.msg_id == msg.msg_id:
+                continue
+            if buffered.seq <= msg.vc[buffered.sender]:
+                copies.append(
+                    DataMessage(
+                        group=buffered.group,
+                        sender=buffered.sender,
+                        seq=buffered.seq,
+                        payload=buffered.payload,
+                        sent_at=buffered.sent_at,
+                        view_id=buffered.view_id,
+                        vc=buffered.vc,
+                        retransmit=True,
+                    )
+                )
+        return copies
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, DataMessage):
+            if payload.attached:
+                # Process piggybacked predecessors first: the carrier's
+                # dependencies are then locally satisfied, so no delay.
+                for attachment in payload.attached:
+                    self._ingest_data(src, attachment)
+            self._ingest_data(src, payload)
+            return
+        if isinstance(payload, (AckGossip, Nak)):
+            self.transport.on_control(src, payload)
+            return
+        if isinstance(payload, _ORDERING_CONTROL):
+            for ready in self.ordering.on_control(src, payload):
+                self._deliver(ready)
+            self._pump()
+            return
+        if isinstance(payload, Heartbeat):
+            if self.failure_detector is not None:
+                self.failure_detector.handle_heartbeat(payload)
+            return
+        if isinstance(payload, _MEMBERSHIP_CONTROL):
+            if self.membership is not None:
+                self.membership.handle(self, src, payload)
+            return
+        self.on_app_message(src, payload)
+
+    def _ingest_data(self, src: str, msg: DataMessage) -> None:
+        fresh = self.transport.on_data(src, msg)
+        if fresh is None:
+            return
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, self.pid, "recv", _label(fresh.payload), fresh.msg_id
+            )
+        for ready in self.ordering.insert(fresh):
+            self._deliver(ready)
+        self._pump()
+
+    def on_app_message(self, src: str, payload: Any) -> None:
+        """Hook for non-group point-to-point traffic (hidden channels etc.)."""
+
+    def _deliver(self, msg: DataMessage) -> None:
+        record = DeliveryRecord(
+            msg_id=msg.msg_id,
+            sender=msg.sender,
+            payload=msg.payload,
+            sent_at=msg.sent_at,
+            delivered_at=self.sim.now,
+        )
+        self.delivered.append(record)
+        if self.trace is not None:
+            self.trace.record(self.sim.now, self.pid, "deliver", _label(msg.payload), msg.msg_id)
+        if self.on_deliver is not None:
+            self.on_deliver(msg.sender, msg.payload, msg)
+
+    # -- membership hooks ------------------------------------------------------------------
+
+    def on_view_installed(self, install: Any) -> None:
+        """Called after a new view is adopted; refresh transport membership."""
+        self.transport.update_membership(self.view_members)
+
+    def poke_ordering(self) -> None:
+        """Re-examine the ordering delay queue (after forgiveness etc.)."""
+        for ready in self.ordering.poke():
+            self._deliver(ready)
+        self._pump()
+
+    def _pump(self) -> None:
+        """Release queued deliverables one at a time, delivering each to the
+        application before the ordering layer accounts the next (see
+        OrderingLayer.release_next for why this interleaving matters)."""
+        while True:
+            ready = self.ordering.release_next()
+            if ready is None:
+                return
+            self._deliver(ready)
+
+    # -- view-change send suppression ------------------------------------------------------
+
+    def suppress_sends(self) -> None:
+        if self.suppressed:
+            return
+        self.suppressed = True
+        self._suppressed_since = self.sim.now
+
+    def resume_sends(self) -> None:
+        if not self.suppressed:
+            return
+        self.suppressed = False
+        if self._suppressed_since is not None:
+            self.total_suppressed_time += self.sim.now - self._suppressed_since
+            self._suppressed_since = None
+        queued, self._suppress_queue = self._suppress_queue, []
+        for payload in queued:
+            self._do_multicast(payload)
+
+    # -- metrics --------------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        data = {
+            "pid": self.pid,
+            "ordering": self.ordering_name,
+            "multicasts_sent": self.multicasts_sent,
+            "control_sent": self.control_sent,
+            "delivered": len(self.delivered),
+            "pending": self.ordering.pending(),
+            "peak_pending": self.ordering.peak_pending,
+            "total_hold_time": self.ordering.total_hold_time(),
+            "suppressed_time": self.total_suppressed_time,
+        }
+        data.update(self.transport.metrics())
+        return data
+
+
+def _label(payload: Any) -> str:
+    """Short human label for trace diagrams."""
+    if isinstance(payload, dict):
+        for key in ("label", "kind", "type", "op"):
+            if key in payload:
+                return str(payload[key])
+    text = str(payload)
+    return text if len(text) <= 30 else text[:29] + "~"

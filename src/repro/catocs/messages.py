@@ -1,0 +1,209 @@
+"""Wire messages for the CATOCS protocol stack.
+
+Every protocol message is a dataclass so :func:`repro.sim.network.estimate_size`
+can account header overhead (notably the vector clock, whose size grows
+linearly with group membership — the E07 measurement).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ordering.vector import VectorClock
+
+MsgId = Tuple[str, int]  # (sender pid, per-sender sequence number)
+
+_unique = itertools.count()
+
+
+def fresh_tag() -> int:
+    """Globally unique small integer, for control-message identification."""
+    return next(_unique)
+
+
+@dataclass
+class DataMessage:
+    """An application multicast within a group.
+
+    ``seq`` is the per-sender sequence number (so ``(sender, seq)`` is the
+    message id); ``vc`` is the causal timestamp piggybacked by causal/total
+    ordering; ``ack_vector`` piggybacks the sender's contiguous-receipt
+    counts for stability tracking.
+    """
+
+    group: str
+    sender: str
+    seq: int
+    payload: Any
+    sent_at: float
+    view_id: int = 0
+    vc: Optional[VectorClock] = None
+    ack_vector: Optional[Dict[str, int]] = None
+    retransmit: bool = False
+    #: Footnote 4 of the paper: "causal protocols can append earlier
+    #: 'causal' messages to later dependent messages" instead of delaying.
+    #: When the piggyback option is on, unstable causal predecessors ride
+    #: along here — eliminating delivery delay at a bandwidth cost.
+    attached: Optional[List["DataMessage"]] = None
+
+    @property
+    def msg_id(self) -> MsgId:
+        return (self.sender, self.seq)
+
+    def size_bytes(self) -> int:
+        from repro.sim.network import estimate_size
+
+        size = 24  # fixed header: group/sender refs, seq, timestamps
+        size += estimate_size(self.payload)
+        if self.vc is not None:
+            size += self.vc.size_bytes()
+        if self.ack_vector is not None:
+            size += sum(8 + len(p.encode()) for p in self.ack_vector)
+        if self.attached:
+            size += sum(m.size_bytes() for m in self.attached)
+        return size
+
+
+@dataclass
+class AckGossip:
+    """Periodic stability gossip: the sender's contiguous receive counts."""
+
+    group: str
+    sender: str
+    ack_vector: Dict[str, int]
+
+
+@dataclass
+class Nak:
+    """Negative acknowledgement: request retransmission of missing seqs."""
+
+    group: str
+    requester: str
+    wanted: List[MsgId]
+
+
+@dataclass
+class OrderToken:
+    """Sequencer-based total order: assigns global indices to message ids."""
+
+    group: str
+    sequencer: str
+    assignments: List[Tuple[int, MsgId]]  # (global index, message id)
+
+
+@dataclass
+class OrderTokenRequest:
+    """Repair request: resend sequencer assignments from ``from_index`` on."""
+
+    group: str
+    requester: str
+    from_index: int
+
+
+@dataclass
+class CommitRequest:
+    """Repair request: resend the agreed priority for ``msg_id``."""
+
+    group: str
+    requester: str
+    msg_id: MsgId
+
+
+@dataclass
+class ProposalRequest:
+    """Repair request from an agreed-order sender to a silent member.
+
+    Carries the data message itself so a member that never received the
+    original can both learn the message and answer with a proposal.
+    """
+
+    group: str
+    requester: str
+    msg: "DataMessage"
+
+
+@dataclass
+class PriorityProposal:
+    """ISIS agreed-order phase 1 reply: proposed priority for a message."""
+
+    group: str
+    proposer: str
+    msg_id: MsgId
+    priority: int
+
+
+@dataclass
+class PriorityCommit:
+    """ISIS agreed-order phase 2: the final, agreed priority."""
+
+    group: str
+    sender: str
+    msg_id: MsgId
+    priority: int
+    tiebreak: str
+
+
+@dataclass
+class Heartbeat:
+    """Failure-detector liveness beacon."""
+
+    group: str
+    sender: str
+    view_id: int
+
+
+@dataclass
+class JoinRequest:
+    """A new process asks to be added to the group's next view."""
+
+    group: str
+    joiner: str
+
+
+@dataclass
+class LeaveAnnounce:
+    """Voluntary departure: the member asks to be excluded from the next view."""
+
+    group: str
+    sender: str
+
+
+@dataclass
+class FlushRequest:
+    """View change phase 1: stop sending, report unstable state."""
+
+    group: str
+    coordinator: str
+    new_view_id: int
+    proposed_members: Tuple[str, ...]
+
+
+@dataclass
+class FlushAck:
+    """View change phase 2: member's receive state + its unstable messages.
+
+    ``ordering_state`` carries the ordering layer's flushable knowledge
+    (agreed-order commits, sequencer assignments) so the new view can decide
+    the fate of in-flight ordering decisions consistently.
+    """
+
+    group: str
+    sender: str
+    new_view_id: int
+    received_counts: Dict[str, int]
+    unstable: List[DataMessage] = field(default_factory=list)
+    ordering_state: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ViewInstall:
+    """View change phase 3: install the agreed new membership."""
+
+    group: str
+    coordinator: str
+    view_id: int
+    members: Tuple[str, ...]
+    final_counts: Dict[str, int] = field(default_factory=dict)
+    ordering_state: Dict[str, Any] = field(default_factory=dict)

@@ -1,0 +1,757 @@
+"""Delivery-ordering disciplines layered over the reliable group transport.
+
+Each layer receives deduplicated data messages from the transport and decides
+when they may be delivered to the application:
+
+- :class:`RawOrdering` — deliver on receipt (the UDP/IP-multicast baseline
+  the paper cites: "systems supporting multicast ... without causal
+  communication support").
+- :class:`FifoOrdering` — per-sender order only.
+- :class:`CausalOrdering` — vector-clock (Birman-Schiper-Stephenson [4])
+  causal delivery; delays a message until all messages that happen-before it
+  have been delivered.  The delay-queue residency it records is exactly the
+  "false causality" cost of Section 3.4 whenever the held message was not
+  semantically dependent on what it waited for.
+- :class:`TotalSequencerOrdering` — a fixed sequencer assigns a single global
+  order (consistent with causality because the sequencer orders messages in
+  its own causal delivery order).
+- :class:`TotalAgreedOrdering` — the decentralised ISIS ABCAST two-phase
+  priority agreement.
+
+All layers expose ``stamp`` (sender side), ``accept_local`` (sender's own
+copy), ``insert`` (a remote data message), and ``on_control`` (protocol
+control traffic), each returning the list of messages that became
+deliverable, in delivery order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.catocs.messages import (
+    CommitRequest,
+    DataMessage,
+    MsgId,
+    OrderToken,
+    OrderTokenRequest,
+    PriorityCommit,
+    PriorityProposal,
+    ProposalRequest,
+)
+from repro.ordering.vector import VectorClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catocs.member import GroupMember
+
+
+class OrderingLayer:
+    """Interface shared by all ordering disciplines."""
+
+    name = "abstract"
+    #: True when the sender's own message must wait for a global order
+    #: decision before local delivery (total-order disciplines).
+    delays_local_delivery = False
+
+    def __init__(self, member: "GroupMember") -> None:
+        self.member = member
+        #: (msg_id -> first-receipt time) for messages currently held back.
+        self.held_since: Dict[MsgId, float] = {}
+        #: (msg_id, hold duration) for every message that was ever delayed.
+        self.hold_log: List[Tuple[MsgId, float]] = []
+        self.peak_pending = 0
+
+    # -- to be implemented by subclasses --------------------------------------
+
+    def stamp(self, msg: DataMessage) -> None:
+        """Attach ordering metadata to an outgoing message."""
+
+    def accept_local(self, msg: DataMessage) -> List[DataMessage]:
+        """Process the sender's own copy of a just-multicast message."""
+        return [msg]
+
+    def insert(self, msg: DataMessage) -> List[DataMessage]:
+        """Process a received (deduplicated) data message."""
+        return [msg]
+
+    def on_control(self, src: str, payload: Any) -> List[DataMessage]:
+        """Process an ordering control message (tokens, proposals...)."""
+        return []
+
+    def pending(self) -> int:
+        """Messages currently held back from delivery."""
+        return len(self.held_since)
+
+    def poke(self) -> List[DataMessage]:
+        """Re-check the delay queue after external state changes (e.g. a
+        view change waived unsatisfiable dependencies)."""
+        return []
+
+    def release_next(self) -> Optional[DataMessage]:
+        """Release at most one deliverable message, updating layer state for
+        that message only.
+
+        The member pumps this in a loop, delivering to the application
+        between releases, so any message the application *sends from a
+        delivery callback* is stamped against exactly the deliveries the
+        application has actually observed — not against a whole batch the
+        layer had already accounted internally.  (Found by the hypothesis
+        suite: a reaction multicast mid-batch otherwise claims causal
+        dependence on messages delivered after it locally.)
+        """
+        return None
+
+    # -- view-change integration (virtual synchrony for ordering state) --------
+
+    def flush_state(self, departed: set) -> dict:
+        """Ordering knowledge to contribute to the flush (e.g. commits or
+        sequencer assignments involving ``departed`` senders).  Collected
+        into the ViewInstall so every survivor decides in-flight ordering
+        questions identically."""
+        return {}
+
+    def on_view_install(self, merged_state: dict,
+                        departed_counts: Dict[str, int]) -> None:
+        """Apply the view's merged ordering state; resolve orphans.
+
+        ``departed_counts[pid]`` is the highest message from the departed
+        ``pid`` that any survivor holds — anything beyond it is gone forever
+        and must not block delivery."""
+
+    def on_join(self, merged_state: dict, final_counts: Dict[str, int]) -> None:
+        """Fast-forward a joining member past the group's flushed history."""
+
+    # -- shared bookkeeping ----------------------------------------------------
+
+    def _hold(self, msg: DataMessage) -> None:
+        self.held_since.setdefault(msg.msg_id, self.member.sim.now)
+        if len(self.held_since) > self.peak_pending:
+            self.peak_pending = len(self.held_since)
+
+    def _release(self, msg: DataMessage) -> None:
+        start = self.held_since.pop(msg.msg_id, None)
+        if start is not None:
+            self.hold_log.append((msg.msg_id, self.member.sim.now - start))
+
+    def total_hold_time(self) -> float:
+        return sum(duration for _, duration in self.hold_log)
+
+
+class RawOrdering(OrderingLayer):
+    """No ordering guarantee beyond what the network happens to provide."""
+
+    name = "raw"
+
+
+class FifoOrdering(OrderingLayer):
+    """Per-sender FIFO delivery."""
+
+    name = "fifo"
+
+    def __init__(self, member: "GroupMember") -> None:
+        super().__init__(member)
+        self._next: Dict[str, int] = {}
+        self._queued: Dict[str, Dict[int, DataMessage]] = {}
+
+    def accept_local(self, msg: DataMessage) -> List[DataMessage]:
+        # A process sends its own messages in seq order, so they are always
+        # immediately deliverable locally.
+        self._next[msg.sender] = msg.seq + 1
+        return [msg]
+
+    def insert(self, msg: DataMessage) -> List[DataMessage]:
+        sender = msg.sender
+        expected = self._next.get(sender, 1)
+        if msg.seq != expected:
+            self._hold(msg)
+            self._queued.setdefault(sender, {})[msg.seq] = msg
+            return []
+        out = [msg]
+        self._next[sender] = msg.seq + 1
+        queue = self._queued.get(sender, {})
+        while self._next[sender] in queue:
+            ready = queue.pop(self._next[sender])
+            self._release(ready)
+            out.append(ready)
+            self._next[sender] = ready.seq + 1
+        return out
+
+
+class CausalOrdering(OrderingLayer):
+    """Vector-clock causal delivery (BSS algorithm).
+
+    The vector clock counts data multicasts per sender, so a message's own
+    component equals its sequence number.  Message ``m`` from ``j`` with
+    stamp ``V`` is deliverable at ``i`` when ``V[j] == delivered[j] + 1`` and
+    ``V[k] <= delivered[k]`` for every ``k != j``.
+    """
+
+    name = "causal"
+
+    def __init__(self, member: "GroupMember") -> None:
+        super().__init__(member)
+        self.delivered = VectorClock()
+        self._queue: List[DataMessage] = []
+        #: Highest seq per sender still recoverable from *somebody* after a
+        #: view change; dependencies beyond it were lost with a crashed
+        #: sender (atomic-but-not-durable) and are waived so delivery does
+        #: not block forever.  None until the first view change.
+        self._ceiling: Optional[VectorClock] = None
+
+    def stamp(self, msg: DataMessage) -> None:
+        vc = self.delivered.copy()
+        vc.tick(msg.sender)
+        msg.vc = vc
+
+    def accept_local(self, msg: DataMessage) -> List[DataMessage]:
+        # Sender delivers its own multicast immediately: everything it
+        # depends on was already delivered locally before the send.
+        self.delivered.merge_in(VectorClock({msg.sender: msg.seq}))
+        return [msg]
+
+    def _required(self, pid: str, wanted: int) -> int:
+        """Dependency level actually required, after waiving lost messages.
+
+        The ceiling only covers *departed* senders; anyone else's messages
+        are still recoverable (or still being sent), so their dependencies
+        stay binding.
+        """
+        if self._ceiling is None or pid not in self._ceiling:
+            return wanted
+        return min(wanted, self._ceiling[pid])
+
+    def _deliverable(self, msg: DataMessage) -> bool:
+        assert msg.vc is not None, "causal message missing vector clock"
+        sender = msg.sender
+        if self.delivered[sender] < self._required(sender, msg.vc[sender] - 1):
+            return False
+        if msg.vc[sender] <= self.delivered[sender]:
+            return False  # stale duplicate; transport should have deduped
+        for pid in msg.vc:
+            if pid != sender and self.delivered[pid] < self._required(pid, msg.vc[pid]):
+                return False
+        return True
+
+    def insert(self, msg: DataMessage) -> List[DataMessage]:
+        self._hold(msg)
+        self._queue.append(msg)
+        return []  # the member pumps release_next()
+
+    def release_next(self) -> Optional[DataMessage]:
+        for queued in self._queue:
+            if self._deliverable(queued):
+                self._queue.remove(queued)
+                self._release(queued)
+                self.delivered.merge_in(VectorClock({queued.sender: queued.seq}))
+                return queued
+        return None
+
+    def drain(self) -> List[DataMessage]:
+        """Release every queued message whose dependencies are now met.
+
+        Used where per-message interleaving with application callbacks is
+        not needed (e.g. feeding the sequencer's staging area).
+        """
+        out: List[DataMessage] = []
+        released = self.release_next()
+        while released is not None:
+            out.append(released)
+            released = self.release_next()
+        return out
+
+    def poke(self) -> List[DataMessage]:
+        return self.drain()
+
+    def on_join(self, merged_state: dict, final_counts: Dict[str, int]) -> None:
+        # History counts as delivered: causal conditions start at the
+        # view's frontier for a joiner.
+        self.delivered.merge_in(VectorClock(final_counts))
+
+    def forgive(self, ceiling: dict) -> None:
+        """Install the post-view-change recoverability ceiling.
+
+        ``ceiling[pid]`` is the highest contiguous seq from ``pid`` that any
+        surviving member holds; dependencies beyond it are unsatisfiable and
+        are waived (the messages were lost with their sender).
+        """
+        merged = dict(ceiling)
+        if self._ceiling is not None:
+            for pid, count in self._ceiling.items():
+                merged[pid] = max(merged.get(pid, 0), count)
+        self._ceiling = VectorClock(merged)
+
+
+class TotalSequencerOrdering(OrderingLayer):
+    """Fixed-sequencer total order, consistent with causality.
+
+    Every member runs an inner causal layer.  The sequencer (the lowest pid
+    of the current view) assigns global indices in the order messages clear
+    *its* causal filter and multicasts :class:`OrderToken` assignments.
+    Members deliver strictly in global-index order once both the message and
+    its token have arrived — this also respects causality because the
+    sequencer's assignment order is a causal order.
+    """
+
+    name = "total-seq"
+    delays_local_delivery = True
+
+    #: How long a member waits for a missing order token before asking the
+    #: sequencer to resend (lost-control-message repair).
+    token_repair_delay = 25.0
+
+    def __init__(self, member: "GroupMember") -> None:
+        super().__init__(member)
+        self._causal = CausalOrdering(member)
+        self._ready: Dict[MsgId, DataMessage] = {}
+        self._order: Dict[int, MsgId] = {}
+        self._next_deliver = 0
+        self._next_assign = 0
+        self._repair_armed = False
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.member.pid == self.member.sequencer_pid()
+
+    def stamp(self, msg: DataMessage) -> None:
+        self._causal.stamp(msg)
+
+    def accept_local(self, msg: DataMessage) -> List[DataMessage]:
+        for ready in self._causal.accept_local(msg):
+            self._stage(ready)
+        return []  # the member pumps release_next()
+
+    def insert(self, msg: DataMessage) -> List[DataMessage]:
+        self._hold(msg)
+        self._causal.insert(msg)
+        for ready in self._causal.drain():
+            self._stage(ready)
+        return []
+
+    def on_control(self, src: str, payload: Any) -> List[DataMessage]:
+        if isinstance(payload, OrderToken):
+            for index, msg_id in payload.assignments:
+                self._order[index] = msg_id
+            return []
+        if isinstance(payload, OrderTokenRequest):
+            assignments = [
+                (index, self._order[index])
+                for index in sorted(self._order)
+                if index >= payload.from_index
+            ]
+            if assignments:
+                self.member.send_control(
+                    payload.requester,
+                    OrderToken(
+                        group=self.member.group,
+                        sequencer=self.member.pid,
+                        assignments=assignments,
+                    ),
+                )
+            return []
+        return []
+
+    def _stage(self, msg: DataMessage) -> None:
+        self._ready[msg.msg_id] = msg
+        if msg.msg_id not in self.held_since:
+            # Locally-originated messages also wait for their token.
+            self._hold(msg)
+        if self.is_sequencer:
+            index = self._next_assign
+            self._next_assign += 1
+            self._order[index] = msg.msg_id
+            token = OrderToken(
+                group=self.member.group,
+                sequencer=self.member.pid,
+                assignments=[(index, msg.msg_id)],
+            )
+            self.member.broadcast_control(token)
+
+    def release_next(self) -> Optional[DataMessage]:
+        if self._next_deliver in self._order:
+            msg_id = self._order[self._next_deliver]
+            msg = self._ready.get(msg_id)
+            if msg is not None:
+                del self._ready[msg_id]
+                self._release(msg)
+                self._next_deliver += 1
+                return msg
+        if self._ready and not self.is_sequencer and not self._repair_armed:
+            # Blocked with undelivered ready messages: a token may be lost.
+            self._repair_armed = True
+            self.member.set_timer(self.token_repair_delay, self._request_repair)
+        return None
+
+    def _request_repair(self) -> None:
+        self._repair_armed = False
+        if not self._ready or self._next_deliver in self._order:
+            return
+        self.member.send_control(
+            self.member.sequencer_pid(),
+            OrderTokenRequest(
+                group=self.member.group,
+                requester=self.member.pid,
+                from_index=self._next_deliver,
+            ),
+        )
+        self._repair_armed = True
+        self.member.set_timer(self.token_repair_delay * 2, self._request_repair)
+
+    def poke(self) -> List[DataMessage]:
+        for ready in self._causal.drain():
+            self._stage(ready)
+        return []  # the member pumps release_next()
+
+    def pending(self) -> int:
+        return len(self.held_since) + self._causal.pending()
+
+    # -- view-change integration ---------------------------------------------------
+
+    def flush_state(self, departed: set) -> dict:
+        # Hand the whole assignment map over: a dead sequencer's assignments
+        # must survive it, and the new sequencer continues from their top.
+        return {"assignments": dict(self._order)}
+
+    def on_view_install(self, merged_state: dict,
+                        departed_counts: Dict[str, int]) -> None:
+        for index, msg_id in merged_state.get("assignments", {}).items():
+            self._order[index] = msg_id
+        if self._order:
+            self._next_assign = max(self._next_assign, max(self._order) + 1)
+        # Skip assignments whose message died with a departed sender and is
+        # beyond what any survivor holds: it can never arrive, and leaving
+        # it would block global delivery forever.
+        while self._next_deliver in self._order:
+            msg_id = self._order[self._next_deliver]
+            sender, seq = msg_id
+            unrecoverable = (msg_id not in self._ready
+                             and sender in departed_counts
+                             and seq > departed_counts[sender])
+            if not unrecoverable:
+                break
+            del self._order[self._next_deliver]
+            self._next_deliver += 1
+        if self.is_sequencer:
+            # Adopt orphaned ready messages into the global order (e.g. the
+            # old sequencer died before assigning them).
+            for ready in self._causal.drain():
+                self._stage(ready)
+            already = set(self._order.values())
+            for msg_id in sorted(self._ready):
+                if msg_id not in already:
+                    index = self._next_assign
+                    self._next_assign += 1
+                    self._order[index] = msg_id
+                    token = OrderToken(group=self.member.group,
+                                       sequencer=self.member.pid,
+                                       assignments=[(index, msg_id)])
+                    self.member.broadcast_control(token)
+
+    def on_join(self, merged_state: dict, final_counts: Dict[str, int]) -> None:
+        self._causal.on_join(merged_state, final_counts)
+        for index, msg_id in merged_state.get("assignments", {}).items():
+            self._order[index] = msg_id
+        if self._order:
+            top = max(self._order)
+            self._next_assign = max(self._next_assign, top + 1)
+            self._next_deliver = top + 1  # history is not replayed to joiners
+
+
+class TotalAgreedOrdering(OrderingLayer):
+    """Decentralised agreed total order (ISIS ABCAST).
+
+    Phase 1: every member proposes a priority for each new message (its
+    local priority counter) back to the message's sender.  Phase 2: the
+    sender commits the maximum proposal.  Messages deliver in
+    (priority, proposer-pid) order once committed and at the queue head.
+    """
+
+    name = "total-agreed"
+    delays_local_delivery = True
+
+    #: If proposals are still missing after this long (e.g. a member crashed
+    #: mid-protocol or a proposal was lost), commit with those received — the
+    #: view-synchronous escape hatch real implementations tie to membership
+    #: changes.  Under message loss this can very rarely commit a priority
+    #: below a survivor's tentative proposal; the loss-injection tests
+    #: therefore assert liveness and causality, and the agreed-total-order
+    #: consistency properties are asserted on loss-free networks.
+    proposal_timeout = 50.0
+    #: How long a member tolerates an uncommitted queue head before asking
+    #: for the (possibly lost) commit message.
+    commit_repair_delay = 60.0
+
+    def __init__(self, member: "GroupMember") -> None:
+        super().__init__(member)
+        self._max_priority = 0
+        # msg_id -> [msg, priority, tiebreak pid, committed?]
+        self._pending: Dict[MsgId, list] = {}
+        self._proposals: Dict[MsgId, Dict[str, int]] = {}
+        self._committed_ids: set = set()
+        #: commit cache so any member can answer a CommitRequest
+        self._commit_values: Dict[MsgId, Tuple[int, str]] = {}
+        self._repair_armed = False
+        self._retries: Dict[MsgId, int] = {}
+
+    def stamp(self, msg: DataMessage) -> None:
+        pass  # priorities travel in control messages, not on the data message
+
+    def accept_local(self, msg: DataMessage) -> List[DataMessage]:
+        self._note_message(msg)
+        own_priority = self._propose()
+        self._pending[msg.msg_id][1] = own_priority
+        self._pending[msg.msg_id][2] = self.member.pid
+        self._record_proposal(msg.msg_id, self.member.pid, own_priority)
+        self.member.set_timer(self.proposal_timeout, self._finalize_on_timeout, msg.msg_id)
+        return self._drain()
+
+    def insert(self, msg: DataMessage) -> List[DataMessage]:
+        self._hold(msg)
+        self._note_message(msg)
+        priority = self._propose()
+        self._pending[msg.msg_id][1] = priority
+        self._pending[msg.msg_id][2] = self.member.pid
+        self.member.send_control(
+            msg.sender,
+            PriorityProposal(
+                group=self.member.group,
+                proposer=self.member.pid,
+                msg_id=msg.msg_id,
+                priority=priority,
+            ),
+        )
+        return self._drain()
+
+    def on_control(self, src: str, payload: Any) -> List[DataMessage]:
+        if isinstance(payload, PriorityProposal):
+            self._record_proposal(payload.msg_id, payload.proposer, payload.priority)
+            return self._drain()
+        if isinstance(payload, PriorityCommit):
+            self._apply_commit(payload.msg_id, payload.priority, payload.tiebreak)
+            return self._drain()
+        if isinstance(payload, CommitRequest):
+            cached = self._commit_values.get(payload.msg_id)
+            if cached is not None:
+                self.member.send_control(
+                    payload.requester,
+                    PriorityCommit(
+                        group=self.member.group,
+                        sender=self.member.pid,
+                        msg_id=payload.msg_id,
+                        priority=cached[0],
+                        tiebreak=cached[1],
+                    ),
+                )
+            return []
+        if isinstance(payload, ProposalRequest):
+            return self._answer_proposal_request(src, payload)
+        return []
+
+    def _answer_proposal_request(self, src: str, request: ProposalRequest) -> List[DataMessage]:
+        msg = request.msg
+        fresh = self.member.transport.on_data(src, msg)
+        if fresh is not None:
+            # We never saw the data; process it normally (which proposes).
+            return self.insert(fresh)
+        cached = self._commit_values.get(msg.msg_id)
+        if cached is not None:
+            # Already committed here; the sender must have the commit too,
+            # so nothing useful to add.
+            return []
+        entry = self._pending.get(msg.msg_id)
+        if entry is not None and entry[2] == self.member.pid:
+            # Our earlier proposal was lost; resend it.
+            self.member.send_control(
+                request.requester,
+                PriorityProposal(
+                    group=self.member.group,
+                    proposer=self.member.pid,
+                    msg_id=msg.msg_id,
+                    priority=entry[1],
+                ),
+            )
+        return []
+
+    # -- internals -------------------------------------------------------------
+
+    def _note_message(self, msg: DataMessage) -> None:
+        if msg.msg_id not in self._pending:
+            self._pending[msg.msg_id] = [msg, 0, "", False]
+            if msg.msg_id not in self.held_since:
+                self._hold(msg)
+
+    def _propose(self) -> int:
+        self._max_priority += 1
+        entry = self._max_priority
+        return entry
+
+    def _record_proposal(self, msg_id: MsgId, proposer: str, priority: int) -> None:
+        if msg_id in self._committed_ids:
+            return
+        box = self._proposals.setdefault(msg_id, {})
+        box[proposer] = priority
+        if msg_id in self._pending and self._pending[msg_id][0].sender == self.member.pid:
+            members = set(self.member.view_members)
+            if set(box) >= members:
+                self._commit(msg_id)
+
+    #: Retries against believed-alive non-proposers before giving up.  A
+    #: member that never answers this many retransmissions is treated as
+    #: failed (the case real implementations hand to the membership layer).
+    max_proposal_retries = 8
+
+    def _finalize_on_timeout(self, msg_id: MsgId) -> None:
+        if msg_id in self._committed_ids:
+            return
+        entry = self._pending.get(msg_id)
+        if entry is None or entry[0].sender != self.member.pid:
+            return
+        proposers = set(self._proposals.get(msg_id, {}))
+        missing = [
+            pid
+            for pid in self.member.view_members
+            if pid not in proposers and self.member.believes_alive(pid)
+        ]
+        retries = self._retries.get(msg_id, 0)
+        if missing and retries < self.max_proposal_retries:
+            # The data message or the proposal reply may have been lost;
+            # re-solicit and wait another round.  Committing without a live
+            # member's proposal could break the agreed-priority invariant
+            # (final >= every tentative).
+            self._retries[msg_id] = retries + 1
+            request = ProposalRequest(
+                group=self.member.group,
+                requester=self.member.pid,
+                msg=entry[0],
+            )
+            for pid in missing:
+                self.member.send_control(pid, request)
+            self.member.set_timer(self.proposal_timeout, self._finalize_on_timeout, msg_id)
+            return
+        self._commit(msg_id)
+        for msg in self._drain():
+            self.member._deliver(msg)
+
+    def _commit(self, msg_id: MsgId) -> None:
+        box = self._proposals.get(msg_id, {})
+        if not box or msg_id in self._committed_ids:
+            return
+        agreed = max(box.values())
+        tiebreak = max(p for p, prio in box.items() if prio == agreed)
+        commit = PriorityCommit(
+            group=self.member.group,
+            sender=self.member.pid,
+            msg_id=msg_id,
+            priority=agreed,
+            tiebreak=tiebreak,
+        )
+        self.member.broadcast_control(commit)
+        self._apply_commit(msg_id, agreed, tiebreak)
+
+    def _apply_commit(self, msg_id: MsgId, priority: int, tiebreak: str) -> None:
+        if msg_id in self._committed_ids:
+            return
+        self._committed_ids.add(msg_id)
+        self._commit_values[msg_id] = (priority, tiebreak)
+        self._max_priority = max(self._max_priority, priority)
+        if msg_id in self._pending:
+            entry = self._pending[msg_id]
+            entry[1] = priority
+            entry[2] = tiebreak
+            entry[3] = True
+
+    def _drain(self) -> List[DataMessage]:
+        out: List[DataMessage] = []
+        while self._pending:
+            head_id = min(
+                self._pending,
+                key=lambda mid: (self._pending[mid][1], self._pending[mid][2], mid),
+            )
+            msg, _priority, _tiebreak, committed = self._pending[head_id]
+            if not committed:
+                if not self._repair_armed:
+                    self._repair_armed = True
+                    self.member.set_timer(
+                        self.commit_repair_delay, self._request_commit_repair
+                    )
+                break
+            del self._pending[head_id]
+            self._release(msg)
+            out.append(msg)
+        return out
+
+    def poke(self) -> List[DataMessage]:
+        return self._drain()
+
+    # -- view-change integration ---------------------------------------------------
+
+    def flush_state(self, departed: set) -> dict:
+        # Contribute every commit we know for a departed sender's messages:
+        # the merged view decides those orphans' fates uniformly.
+        return {
+            "commits": {
+                mid: self._commit_values[mid]
+                for mid in self._commit_values
+                if mid[0] in departed
+            }
+        }
+
+    def on_view_install(self, merged_state: dict,
+                        departed_counts: Dict[str, int]) -> None:
+        # Apply every commit any survivor knew about.
+        for msg_id, (priority, tiebreak) in merged_state.get("commits", {}).items():
+            self._apply_commit(msg_id, priority, tiebreak)
+        # Uncommitted messages from departed senders never reached agreement
+        # (no survivor holds a commit): the sender died mid-protocol, so the
+        # message is dropped everywhere — atomic, not durable (Section 2).
+        for msg_id in list(self._pending):
+            msg, _priority, _tiebreak, committed = self._pending[msg_id]
+            if not committed and msg_id[0] in departed_counts:
+                del self._pending[msg_id]
+                self._release(msg)
+        # Pending proposal collections involving departed members resolve by
+        # the normal timeout path (believes_alive now excludes them).
+
+    def _request_commit_repair(self) -> None:
+        self._repair_armed = False
+        stuck = [mid for mid, entry in self._pending.items() if not entry[3]]
+        if not stuck:
+            return
+        for msg_id in stuck:
+            sender = self._pending[msg_id][0].sender
+            target = sender if self.member.believes_alive(sender) else None
+            if target is None or target == self.member.pid:
+                # Ask everyone else: any member may hold the commit.
+                self.member.broadcast_control(
+                    CommitRequest(
+                        group=self.member.group,
+                        requester=self.member.pid,
+                        msg_id=msg_id,
+                    )
+                )
+            else:
+                self.member.send_control(
+                    target,
+                    CommitRequest(
+                        group=self.member.group,
+                        requester=self.member.pid,
+                        msg_id=msg_id,
+                    ),
+                )
+        self._repair_armed = True
+        self.member.set_timer(self.commit_repair_delay * 2, self._request_commit_repair)
+
+
+ORDERINGS = {
+    "raw": RawOrdering,
+    "fifo": FifoOrdering,
+    "causal": CausalOrdering,
+    "total-seq": TotalSequencerOrdering,
+    "total-agreed": TotalAgreedOrdering,
+}
+
+
+def make_ordering(name: str, member: "GroupMember") -> OrderingLayer:
+    """Instantiate an ordering layer by name."""
+    try:
+        return ORDERINGS[name](member)
+    except KeyError:
+        raise ValueError(f"unknown ordering {name!r}; options: {sorted(ORDERINGS)}")

@@ -1,0 +1,309 @@
+"""Reliable group transport with stability tracking and atomic-delivery buffers.
+
+Sits between the raw (lossy, reordering) network and the ordering layers:
+
+- **Dedup & loss repair.**  Messages carry per-sender sequence numbers; gaps
+  trigger NAKs after a short delay.  Retransmission requests go to the
+  original sender while it is believed alive, otherwise to any member whose
+  acknowledged state covers the message — the "receiver ... can get copies of
+  the causally referenced messages from the sender of the new message even if
+  the original sender ... has crashed" assumption of Section 5.
+
+- **Atomic-delivery buffering.**  Every member retains every data message it
+  has received until the message is *stable* (known received by all members),
+  exactly the buffering whose growth Section 5 analyses.  Peak buffer
+  occupancy is instrumented per member.
+
+- **Stability tracking.**  Each outgoing data message piggybacks the sender's
+  contiguous receive counts; a periodic gossip covers quiet senders.  A
+  :class:`~repro.ordering.matrix.MatrixClock` per member derives the stable
+  frontier as the componentwise minimum over rows.
+
+Note what the transport does **not** give: durability.  A sender that crashes
+before its message reaches anyone loses the message even though it may have
+been delivered locally — the paper's "atomic, but not durable" deficiency,
+which experiment E09 demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.catocs.messages import AckGossip, DataMessage, MsgId, Nak
+from repro.ordering.matrix import MatrixClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catocs.member import GroupMember
+
+
+class GroupTransport:
+    """Per-member reliable multicast endpoint."""
+
+    def __init__(
+        self,
+        member: "GroupMember",
+        nak_delay: float = 5.0,
+        ack_period: float = 20.0,
+    ) -> None:
+        self.member = member
+        self.nak_delay = nak_delay
+        self.ack_period = ack_period
+
+        members = list(member.view_members)
+        self.matrix = MatrixClock(members)
+        #: contiguous receive count per sender (own sends count as received)
+        self.contiguous: Dict[str, int] = {pid: 0 for pid in members}
+        #: out-of-order messages received beyond the contiguous point
+        self._ahead: Dict[str, Dict[int, DataMessage]] = {}
+        #: highest seq seen per sender (for gap detection)
+        self._max_seen: Dict[str, int] = {pid: 0 for pid in members}
+        #: atomicity buffer: every known-unstable message we hold a copy of
+        self.buffer: Dict[MsgId, DataMessage] = {}
+        self._nak_pending: Set[MsgId] = set()
+        self._nak_attempts: Dict[str, int] = {}
+
+        # instrumentation
+        self.peak_buffered = 0
+        self.peak_buffered_bytes = 0
+        self.retransmissions = 0
+        self.naks_sent = 0
+        self.gossip_sent = 0
+        self.duplicates = 0
+        self.stable_hooks: List[Callable[[MsgId], None]] = []
+
+        if self.ack_period > 0:
+            member.set_timer(self.ack_period, self._gossip_tick)
+
+    def update_membership(self, members) -> None:
+        """Rebuild stability tracking after a view change.
+
+        Rows for departed members no longer hold back the stable frontier.
+        Surviving members' rows restart from our own first-hand knowledge
+        and re-converge through piggybacked acks and gossip.
+        """
+        members = list(members)
+        self.matrix = MatrixClock(members)
+        self.matrix.update_row(self.member.pid, _as_vc(self.contiguous))
+        for pid in members:
+            if pid not in self.contiguous:
+                self.contiguous[pid] = 0
+            if pid not in self._max_seen:
+                self._max_seen[pid] = 0
+        self._check_stability()
+
+    # -- sending ----------------------------------------------------------------
+
+    def broadcast(self, msg: DataMessage) -> None:
+        """Send a data message to all other view members; buffer for repair."""
+        msg.ack_vector = dict(self.contiguous)
+        self._note_received(msg)
+        for pid in self.member.view_members:
+            if pid != self.member.pid:
+                self.member.send(pid, msg)
+
+    # -- receiving ----------------------------------------------------------------
+
+    def on_data(self, src: str, msg: DataMessage) -> Optional[DataMessage]:
+        """Handle an incoming data message.
+
+        Returns the message if it is new (the caller feeds it to the ordering
+        layer), or None for duplicates.
+        """
+        if msg.ack_vector:
+            self.matrix.update_row(msg.sender, _as_vc(msg.ack_vector))
+            self._learn_existence(msg.ack_vector)
+        # The sender necessarily holds its own message.
+        self.matrix.set_component(msg.sender, msg.sender, msg.seq)
+
+        if self._already_have(msg.msg_id):
+            self.duplicates += 1
+            self._check_stability()
+            return None
+        self._note_received(msg)
+        self._check_gaps(msg.sender)
+        self._check_stability()
+        return msg
+
+    def on_control(self, src: str, payload) -> bool:
+        """Handle transport control traffic.  Returns True if consumed."""
+        if isinstance(payload, AckGossip):
+            self.matrix.update_row(payload.sender, _as_vc(payload.ack_vector))
+            self._learn_existence(payload.ack_vector)
+            self._check_stability()
+            return True
+        if isinstance(payload, Nak):
+            self._serve_nak(payload)
+            return True
+        return False
+
+    # -- receive-state bookkeeping ---------------------------------------------
+
+    def _already_have(self, msg_id: MsgId) -> bool:
+        sender, seq = msg_id
+        if seq <= self.contiguous.get(sender, 0):
+            return True
+        return seq in self._ahead.get(sender, {})
+
+    def _note_received(self, msg: DataMessage) -> None:
+        sender, seq = msg.msg_id
+        self.buffer[msg.msg_id] = msg
+        if len(self.buffer) > self.peak_buffered:
+            self.peak_buffered = len(self.buffer)
+        total = sum(m.size_bytes() for m in self.buffer.values())
+        if total > self.peak_buffered_bytes:
+            self.peak_buffered_bytes = total
+
+        if seq > self._max_seen.get(sender, 0):
+            self._max_seen[sender] = seq
+        if seq == self.contiguous.get(sender, 0) + 1:
+            self.contiguous[sender] = seq
+            ahead = self._ahead.get(sender, {})
+            while self.contiguous[sender] + 1 in ahead:
+                self.contiguous[sender] += 1
+                del ahead[self.contiguous[sender]]
+        else:
+            self._ahead.setdefault(sender, {})[seq] = msg
+        # Our own receive state is first-hand knowledge for the matrix.
+        self.matrix.update_row(self.member.pid, _as_vc(self.contiguous))
+
+    # -- gap repair ---------------------------------------------------------------
+
+    def _learn_existence(self, ack_vector: Dict[str, int]) -> None:
+        """Ack vectors reveal messages we never saw (e.g. a dropped *final*
+        message from a sender leaves no observable seq gap); chase them."""
+        for sender, count in ack_vector.items():
+            if count > self._max_seen.get(sender, 0) and sender != self.member.pid:
+                self._max_seen[sender] = count
+                self._check_gaps(sender)
+
+    def _check_gaps(self, sender: str) -> None:
+        missing = self._missing(sender)
+        fresh = [mid for mid in missing if mid not in self._nak_pending]
+        if not fresh:
+            return
+        for mid in fresh:
+            self._nak_pending.add(mid)
+        self.member.set_timer(self.nak_delay, self._send_naks, sender)
+
+    def _missing(self, sender: str) -> List[MsgId]:
+        contiguous = self.contiguous.get(sender, 0)
+        top = self._max_seen.get(sender, 0)
+        ahead = self._ahead.get(sender, {})
+        return [(sender, s) for s in range(contiguous + 1, top + 1) if s not in ahead]
+
+    def _send_naks(self, sender: str) -> None:
+        still_missing = [mid for mid in self._missing(sender) if mid in self._nak_pending]
+        for mid in still_missing:
+            self._nak_pending.discard(mid)
+        if not still_missing:
+            return
+        target = self._repair_target(sender, still_missing)
+        if target is None:
+            # Nobody reachable holds the message: the non-durability window.
+            return
+        self.naks_sent += 1
+        self.member.send(
+            target,
+            Nak(group=self.member.group, requester=self.member.pid, wanted=still_missing),
+        )
+        # Re-arm in case the repair itself is lost.
+        for mid in still_missing:
+            self._nak_pending.add(mid)
+        self.member.set_timer(self.nak_delay * 2, self._send_naks, sender)
+
+    def _repair_target(self, sender: str, wanted: List[MsgId]) -> Optional[str]:
+        """Pick who to ask for a retransmission.
+
+        First choice is the original sender; but repeated failures (a dead
+        sender our detector hasn't condemned, or a one-way-broken link)
+        rotate the request to any member whose acknowledged state covers the
+        messages — the Section 5 assumption that "the receiver of a new
+        message ... can get copies of the causally referenced messages from
+        the sender of the new message even if the original sender ... has
+        crashed".
+        """
+        attempt = self._nak_attempts.get(sender, 0)
+        self._nak_attempts[sender] = attempt + 1
+        candidates: List[str] = []
+        if self.member.believes_alive(sender):
+            candidates.append(sender)
+        for pid in self.member.view_members:
+            if pid in (self.member.pid, sender) or not self.member.believes_alive(pid):
+                continue
+            row = self.matrix.row(pid)
+            if all(row[s] >= q for s, q in wanted):
+                candidates.append(pid)
+        if not candidates:
+            return None
+        return candidates[attempt % len(candidates)]
+
+    def _serve_nak(self, nak: Nak) -> None:
+        for msg_id in nak.wanted:
+            msg = self.buffer.get(msg_id)
+            if msg is None:
+                continue
+            # NOTE: no ack_vector on the copy.  The piggybacked ack vector is
+            # interpreted as *the message sender's* receive state; a peer
+            # serving someone else's message must not publish its own counts
+            # under the original sender's identity, or the stability matrix
+            # overstates what slow members hold and buffers are trimmed while
+            # a member still needs repair (found by E06 under NAK rotation).
+            copy = DataMessage(
+                group=msg.group,
+                sender=msg.sender,
+                seq=msg.seq,
+                payload=msg.payload,
+                sent_at=msg.sent_at,
+                view_id=msg.view_id,
+                vc=msg.vc,
+                retransmit=True,
+            )
+            self.retransmissions += 1
+            self.member.send(nak.requester, copy)
+
+    # -- stability -----------------------------------------------------------------
+
+    def _gossip_tick(self) -> None:
+        self.gossip_sent += 1
+        gossip = AckGossip(
+            group=self.member.group,
+            sender=self.member.pid,
+            ack_vector=dict(self.contiguous),
+        )
+        for pid in self.member.view_members:
+            if pid != self.member.pid:
+                self.member.send(pid, gossip)
+        self.member.set_timer(self.ack_period, self._gossip_tick)
+
+    def _check_stability(self) -> None:
+        stable = self.matrix.min_vector()
+        newly_stable = [
+            mid for mid in self.buffer if mid[1] <= stable[mid[0]]
+        ]
+        for mid in newly_stable:
+            del self.buffer[mid]
+            for hook in self.stable_hooks:
+                hook(mid)
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def buffered_bytes(self) -> int:
+        return sum(m.size_bytes() for m in self.buffer.values())
+
+    def metrics(self) -> Dict[str, int]:
+        return {
+            "buffered": len(self.buffer),
+            "buffered_bytes": self.buffered_bytes(),
+            "peak_buffered": self.peak_buffered,
+            "peak_buffered_bytes": self.peak_buffered_bytes,
+            "retransmissions": self.retransmissions,
+            "naks_sent": self.naks_sent,
+            "gossip_sent": self.gossip_sent,
+            "duplicates": self.duplicates,
+        }
+
+
+def _as_vc(counts: Dict[str, int]):
+    from repro.ordering.vector import VectorClock
+
+    return VectorClock(counts)

@@ -1,0 +1,81 @@
+"""Global predicate evaluation without (and with) CATOCS.
+
+Section 4.2 and Appendix 9.2 of the paper: stable-predicate detection —
+deadlock, termination, orphans — is the one problem class where CATOCS-based
+solutions are elegant, and the paper's counter is that (a) they require
+CATOCS on *every* message, not just detection traffic, and (b) the important
+subclasses are solvable with cheaper state-level protocols.  This package
+implements both sides:
+
+- :mod:`repro.detect.waitfor` — wait-for graphs with cycle detection, and the
+  paper's detector: each node multicasts its local wait-for edges (any order,
+  plain sequence numbers) to monitors; only true deadlocks are reported.
+- :mod:`repro.detect.chandy_lamport` — the consistent-cut snapshot over FIFO
+  channels, no CATOCS required.
+- :mod:`repro.detect.catocs_snapshot` — the CATOCS-based snapshot (a marker
+  multicast in causal order yields a consistent cut) for cost comparison.
+- :mod:`repro.detect.checkpoint` — periodic coordinated checkpointing
+  (Elnozahy-style), the state-level alternative for full consistent cuts.
+- :mod:`repro.detect.rpc` / :mod:`repro.detect.rpc_deadlock` — an RPC
+  substrate with blocking calls plus the two RPC-deadlock detectors of
+  Appendix 9.2: van Renesse's causal-multicast detector and the paper's
+  instance-id periodic wait-for alternative.
+"""
+
+from repro.detect.waitfor import (
+    DeadlockMonitor,
+    WaitForGraph,
+    WaitForReport,
+    WaitForReporter,
+)
+from repro.detect.chandy_lamport import ChandyLamportParticipant, SnapshotResult
+from repro.detect.catocs_snapshot import CatocsSnapshotMember
+from repro.detect.checkpoint import CheckpointCoordinator, CheckpointParticipant
+from repro.detect.rpc import Call, Reply, RpcProcess, Work
+from repro.detect.rpc_deadlock import (
+    CausalRpcDeadlockDetector,
+    PeriodicRpcDeadlockDetector,
+)
+from repro.detect.kofn import KofNMonitor, KofNReport, KofNState, KofNWait
+from repro.detect.termination import (
+    ActivityReporter,
+    DiffusingWorker,
+    TerminationMonitor,
+)
+from repro.detect.token import (
+    RingMember,
+    Token,
+    TokenMonitor,
+    TokenReporter,
+    build_token_ring,
+)
+
+__all__ = [
+    "WaitForGraph",
+    "WaitForReport",
+    "WaitForReporter",
+    "DeadlockMonitor",
+    "ChandyLamportParticipant",
+    "SnapshotResult",
+    "CatocsSnapshotMember",
+    "CheckpointCoordinator",
+    "CheckpointParticipant",
+    "RpcProcess",
+    "Call",
+    "Reply",
+    "Work",
+    "CausalRpcDeadlockDetector",
+    "PeriodicRpcDeadlockDetector",
+    "KofNState",
+    "KofNWait",
+    "KofNReport",
+    "KofNMonitor",
+    "DiffusingWorker",
+    "ActivityReporter",
+    "TerminationMonitor",
+    "Token",
+    "RingMember",
+    "TokenReporter",
+    "TokenMonitor",
+    "build_token_ring",
+]

@@ -1,0 +1,167 @@
+"""Chandy-Lamport consistent snapshots over FIFO channels — no CATOCS.
+
+The paper's Section 4.2 cites this family: a full consistent cut can be
+taken "at the state level without CATOCS" [9].  The classic algorithm needs
+only FIFO point-to-point channels (implemented here with per-channel
+sequence numbers over the lossy network): on first marker, record local
+state and send markers on all outgoing channels; record each incoming
+channel until its marker arrives.
+
+The crucial cost contrast for experiment E08: markers flow only when a
+snapshot is taken, while a CATOCS-based solution pays ordering overhead on
+*every* application message between detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+
+@dataclass
+class _ChannelMsg:
+    """App payload wrapped with per-channel FIFO sequencing."""
+
+    seq: int
+    payload: Any
+
+
+@dataclass
+class _Marker:
+    snapshot_id: int
+    seq: int  # rides the same FIFO sequence space as app messages
+
+
+@dataclass
+class SnapshotResult:
+    """One participant's contribution to a snapshot."""
+
+    snapshot_id: int
+    pid: str
+    state: Any
+    channel_messages: Dict[str, List[Any]]
+    completed_at: float
+
+
+class ChandyLamportParticipant(Process):
+    """A process whose app traffic flows over FIFO channels and that can
+    participate in (or initiate) Chandy-Lamport snapshots.
+
+    Subclasses/users provide ``state_fn`` (what to record) and use
+    :meth:`channel_send` for application traffic; ``on_app`` receives it.
+    ``on_snapshot_complete`` fires locally when this participant has
+    recorded its state and all incoming channels.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pid: str,
+        peers: Sequence[str],
+        state_fn: Callable[[], Any],
+        on_app: Optional[Callable[[str, Any], None]] = None,
+        on_snapshot_complete: Optional[Callable[[SnapshotResult], None]] = None,
+    ) -> None:
+        super().__init__(sim, network, pid)
+        self.peers = [p for p in peers if p != pid]
+        self.state_fn = state_fn
+        self.on_app = on_app
+        self.on_snapshot_complete = on_snapshot_complete
+        # FIFO sequencing per directed channel.
+        self._send_seq: Dict[str, int] = {p: 0 for p in self.peers}
+        self._recv_next: Dict[str, int] = {p: 1 for p in self.peers}
+        self._recv_buffer: Dict[str, Dict[int, Any]] = {p: {} for p in self.peers}
+        # Snapshot state.
+        self._recording: Dict[int, Dict[str, Optional[List[Any]]]] = {}
+        self._recorded_state: Dict[int, Any] = {}
+        self.snapshots: List[SnapshotResult] = []
+        self.marker_messages = 0
+
+    # -- application traffic ---------------------------------------------------------
+
+    def channel_send(self, dst: str, payload: Any) -> None:
+        """Send app traffic on the FIFO channel to ``dst``."""
+        self._send_seq[dst] += 1
+        self.send(dst, _ChannelMsg(seq=self._send_seq[dst], payload=payload))
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, (_ChannelMsg, _Marker)):
+            self._fifo_ingest(src, payload)
+
+    def _fifo_ingest(self, src: str, item: Any) -> None:
+        expected = self._recv_next.get(src)
+        if expected is None:
+            return
+        if item.seq != expected:
+            self._recv_buffer[src][item.seq] = item
+            return
+        self._fifo_deliver(src, item)
+        buffer = self._recv_buffer[src]
+        while self._recv_next[src] in buffer:
+            self._fifo_deliver(src, buffer.pop(self._recv_next[src]))
+
+    def _fifo_deliver(self, src: str, item: Any) -> None:
+        self._recv_next[src] = item.seq + 1
+        if isinstance(item, _Marker):
+            self._on_marker(src, item.snapshot_id)
+            return
+        # Channel recording: messages arriving after our state was recorded
+        # but before this channel's marker belong to the channel state.
+        for snapshot_id, channels in self._recording.items():
+            record = channels.get(src)
+            if record is not None:
+                record.append(item.payload)
+        if self.on_app is not None:
+            self.on_app(src, item.payload)
+
+    # -- snapshot protocol -------------------------------------------------------------
+
+    def initiate_snapshot(self, snapshot_id: int) -> None:
+        """Record our state and send markers on all outgoing channels."""
+        self._record_and_propagate(snapshot_id)
+
+    def _on_marker(self, src: str, snapshot_id: int) -> None:
+        if snapshot_id not in self._recorded_state:
+            self._record_and_propagate(snapshot_id)
+        channels = self._recording.get(snapshot_id)
+        if channels is not None and channels.get(src) is not None:
+            # Channel state for src is complete: stop recording it.
+            channels[src + "/done"] = channels.pop(src)  # type: ignore[assignment]
+        self._maybe_complete(snapshot_id)
+
+    def _record_and_propagate(self, snapshot_id: int) -> None:
+        self._recorded_state[snapshot_id] = self.state_fn()
+        # Begin recording every incoming channel (until its marker arrives).
+        self._recording[snapshot_id] = {p: [] for p in self.peers}
+        for peer in self.peers:
+            self._send_seq[peer] += 1
+            self.send(peer, _Marker(snapshot_id=snapshot_id, seq=self._send_seq[peer]))
+            self.marker_messages += 1
+        self._maybe_complete(snapshot_id)
+
+    def _maybe_complete(self, snapshot_id: int) -> None:
+        channels = self._recording.get(snapshot_id)
+        if channels is None:
+            return
+        open_channels = [k for k in channels if not str(k).endswith("/done")]
+        if open_channels:
+            return
+        collected = {
+            str(k)[: -len("/done")]: msgs for k, msgs in channels.items()
+        }
+        del self._recording[snapshot_id]
+        result = SnapshotResult(
+            snapshot_id=snapshot_id,
+            pid=self.pid,
+            state=self._recorded_state[snapshot_id],
+            channel_messages=collected,
+            completed_at=self.sim.now,
+        )
+        self.snapshots.append(result)
+        if self.on_snapshot_complete is not None:
+            self.on_snapshot_complete(result)

@@ -1,0 +1,170 @@
+"""The two RPC deadlock detectors of Appendix 9.2.
+
+**Van Renesse's algorithm** [29]: "each process causally multicasts each RPC
+invocation and each RPC return.  A monitor process receives all RPC-related
+events and constructs a wait-for graph."  Here every RPC peer joins one
+causal group (peers + monitors); invoke/return events ride it as causal
+multicasts — two per RPC, each fanning out to the whole group, which is the
+cost the paper calls prohibitive.  The monitor's graph is at *process*
+granularity, so multi-threaded servers can produce false deadlocks (shown in
+the tests).
+
+**The paper's alternative**: instance identifiers + periodic multicast of
+augmented local wait-for edges to the monitors, with a plain per-sender
+sequence number.  It reuses :class:`repro.detect.waitfor.DeadlockMonitor`
+machinery, detects the same true deadlocks, handles multi-threaded
+processes, and its message cost is decoupled from the RPC rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catocs import GroupMember, build_group
+from repro.detect.rpc import RpcProcess
+from repro.detect.waitfor import DeadlockMonitor, WaitForGraph, WaitForReporter
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+
+class CausalRpcDeadlockDetector:
+    """Van Renesse-style detection: causal multicast of every RPC event.
+
+    ``attach`` wires a set of :class:`RpcProcess` peers plus a monitor into
+    one causal group.  Process-granularity wait-for graph at the monitor;
+    cycles are reported via ``on_deadlock``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        rpc_processes: Sequence[RpcProcess],
+        monitor_pid: str = "rpc-monitor",
+        on_deadlock: Optional[Callable[[List[str]], None]] = None,
+        ordering: str = "causal",
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.on_deadlock = on_deadlock
+        self.graph = WaitForGraph()
+        self.deadlocks: List[Tuple[float, List[str]]] = []
+        #: outstanding call counts per directed process pair
+        self._outstanding: Dict[Tuple[str, str], int] = {}
+        #: call id -> (caller process, callee process)
+        self._call_route: Dict[str, Tuple[str, str]] = {}
+        self._early_returns: Set[str] = set()
+
+        pids = [p.pid for p in rpc_processes]
+        group_pids = pids + [monitor_pid]
+        # One member per RPC peer for event multicasting, plus the monitor.
+        # Group member pids must not collide with the rpc processes
+        # themselves, so they get a "!ev" suffix on the wire.
+        self._members = build_group(
+            sim,
+            network,
+            [pid + "!ev" for pid in group_pids],
+            group="rpc-events",
+            ordering=ordering,
+            on_deliver=lambda member_pid: (
+                self._monitor_deliver if member_pid == monitor_pid + "!ev" else None
+            ),
+        )
+        for proc in rpc_processes:
+            member = self._members[proc.pid + "!ev"]
+            proc.event_hooks.append(self._make_hook(member))
+
+    def _make_hook(self, member: GroupMember) -> Callable[[str, Dict[str, Any]], None]:
+        def hook(kind: str, fields: Dict[str, Any]) -> None:
+            member.multicast((kind, dict(fields)))
+
+        return hook
+
+    # -- monitor side ---------------------------------------------------------------------
+
+    def _monitor_deliver(self, src: str, payload: Any, msg: Any) -> None:
+        kind, fields = payload
+        if kind == "invoke":
+            call_id = fields["call_id"]
+            if call_id in self._early_returns:
+                self._early_returns.discard(call_id)
+                return
+            caller = fields["caller"]
+            callee = fields["dst"]
+            self._call_route[call_id] = (caller, callee)
+            key = (caller, callee)
+            self._outstanding[key] = self._outstanding.get(key, 0) + 1
+            self.graph.add_edge(caller, callee)
+            self._check()
+        elif kind == "return":
+            call_id = fields["call_id"]
+            route = self._call_route.pop(call_id, None)
+            if route is None:
+                self._early_returns.add(call_id)
+                return
+            key = route
+            self._outstanding[key] = self._outstanding.get(key, 1) - 1
+            if self._outstanding[key] <= 0:
+                self._outstanding.pop(key, None)
+                self.graph.remove_edge(key[0], key[1])
+
+    def _check(self) -> None:
+        cycle = self.graph.find_cycle()
+        if cycle is not None:
+            self.deadlocks.append((self.sim.now, [str(n) for n in cycle]))
+            if self.on_deadlock is not None:
+                self.on_deadlock([str(n) for n in cycle])
+
+    # -- cost accounting ---------------------------------------------------------------------
+
+    def event_multicasts(self) -> int:
+        """Causal multicasts issued for detection (2 per RPC)."""
+        return sum(
+            m.multicasts_sent for pid, m in self._members.items()
+        )
+
+    def network_messages(self) -> int:
+        """Point-to-point sends those multicasts expanded into."""
+        group_size = len(self._members)
+        return self.event_multicasts() * (group_size - 1)
+
+
+class PeriodicRpcDeadlockDetector:
+    """The paper's alternative: periodic instance-id wait-for reports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        rpc_processes: Sequence[RpcProcess],
+        monitor_pid: str = "rpc-wf-monitor",
+        period: float = 50.0,
+        on_deadlock: Optional[Callable[[List[str]], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.monitor = DeadlockMonitor(
+            sim, network, monitor_pid,
+            on_deadlock=(lambda cycle: on_deadlock([str(n) for n in cycle]))
+            if on_deadlock
+            else None,
+        )
+        self.reporters: List[WaitForReporter] = []
+        for proc in rpc_processes:
+            reporter = WaitForReporter(
+                sim,
+                network,
+                proc.pid + "!wf",
+                edge_source=proc.wait_edges,
+                monitors=[monitor_pid],
+                period=period,
+            )
+            self.reporters.append(reporter)
+
+    @property
+    def deadlocks(self) -> List[Tuple[float, List]]:
+        return self.monitor.deadlocks
+
+    def network_messages(self) -> int:
+        """Detection messages sent (reports; decoupled from RPC rate)."""
+        return sum(r.reports_sent for r in self.reporters)

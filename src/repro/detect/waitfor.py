@@ -1,0 +1,177 @@
+"""Wait-for graphs and the paper's order-insensitive deadlock detector.
+
+Section 4.2's key reformulation: for 2-phase-locking transactions, the
+deadlock predicate is a conjunction of "t_i waits-for t_j at some time"
+facts whose evaluation "is insensitive to message ordering — effectively
+transforming the detection problem from one of taking a consistent cut to
+one of taking just a cut".  So each node simply multicasts its local
+wait-for edges to monitor(s), with nothing stronger than a per-sender
+sequence number, and the monitor's cycle test reports only true deadlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+Edge = Tuple[Hashable, Hashable]
+
+
+class WaitForGraph:
+    """A directed graph of waiter -> holder relationships."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Hashable, Set[Hashable]] = {}
+
+    def add_edge(self, waiter: Hashable, holder: Hashable) -> None:
+        self._succ.setdefault(waiter, set()).add(holder)
+
+    def remove_edge(self, waiter: Hashable, holder: Hashable) -> None:
+        succ = self._succ.get(waiter)
+        if succ is not None:
+            succ.discard(holder)
+            if not succ:
+                del self._succ[waiter]
+
+    def remove_node(self, node: Hashable) -> None:
+        self._succ.pop(node, None)
+        for succ in self._succ.values():
+            succ.discard(node)
+
+    def replace_edges_from(self, source_tag: Hashable, edges: Sequence[Edge],
+                           ownership: Dict[Edge, Hashable]) -> None:
+        """Replace all edges previously contributed by ``source_tag``."""
+        stale = [e for e, owner in ownership.items() if owner == source_tag]
+        for waiter, holder in stale:
+            self.remove_edge(waiter, holder)
+            del ownership[(waiter, holder)]
+        for waiter, holder in edges:
+            self.add_edge(waiter, holder)
+            ownership[(waiter, holder)] = source_tag
+
+    def edges(self) -> List[Edge]:
+        return [(w, h) for w, succ in self._succ.items() for h in succ]
+
+    def find_cycle(self) -> Optional[List[Hashable]]:
+        """Return one cycle (as a node list) if the graph has any."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[Hashable, int] = {}
+        parent: Dict[Hashable, Hashable] = {}
+
+        def visit(node: Hashable) -> Optional[List[Hashable]]:
+            color[node] = GRAY
+            # Sort for cross-run determinism (str hashing is per-process salted).
+            for succ in sorted(self._succ.get(node, ()), key=str):
+                state = color.get(succ, WHITE)
+                if state == GRAY:
+                    # unwind the cycle
+                    cycle = [succ, node]
+                    cursor = node
+                    while cursor != succ:
+                        cursor = parent[cursor]
+                        if cursor == succ:
+                            break
+                        cycle.append(cursor)
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    parent[succ] = node
+                    found = visit(succ)
+                    if found is not None:
+                        return found
+            color[node] = BLACK
+            return None
+
+        for node in sorted(self._succ, key=str):
+            if color.get(node, WHITE) == WHITE:
+                found = visit(node)
+                if found is not None:
+                    return found
+        return None
+
+
+@dataclass
+class WaitForReport:
+    """One node's local wait-for edges, with a plain sequence number."""
+
+    reporter: str
+    seq: int
+    edges: List[Edge]
+
+
+class WaitForReporter(Process):
+    """Periodically multicasts a node's local wait-for edges to monitors.
+
+    ``edge_source`` is any callable returning the node's current local
+    edges (e.g. ``ResourceServer.wait_for_edges``).  Nothing stronger than
+    a per-reporter sequence number is used: monitors drop reorderings of
+    *our own* reports; cross-reporter ordering is irrelevant by the
+    Section 4.2 property.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pid: str,
+        edge_source: Callable[[], Sequence[Edge]],
+        monitors: Sequence[str],
+        period: float = 50.0,
+    ) -> None:
+        super().__init__(sim, network, pid)
+        self.edge_source = edge_source
+        self.monitors = list(monitors)
+        self.period = period
+        self._seq = 0
+        self.reports_sent = 0
+
+    def on_start(self) -> None:
+        self.set_timer(self.period, self._tick)
+
+    def _tick(self) -> None:
+        self._seq += 1
+        report = WaitForReport(
+            reporter=self.pid, seq=self._seq, edges=list(self.edge_source())
+        )
+        for monitor in self.monitors:
+            self.send(monitor, report)
+            self.reports_sent += 1
+        self.set_timer(self.period, self._tick)
+
+
+class DeadlockMonitor(Process):
+    """Assembles reported edges and reports cycles (true deadlocks only)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pid: str,
+        on_deadlock: Optional[Callable[[List[Hashable]], None]] = None,
+    ) -> None:
+        super().__init__(sim, network, pid)
+        self.graph = WaitForGraph()
+        self.on_deadlock = on_deadlock
+        self._last_seq: Dict[str, int] = {}
+        self._ownership: Dict[Edge, Hashable] = {}
+        self.reports_received = 0
+        self.deadlocks: List[Tuple[float, List[Hashable]]] = []
+
+    def on_message(self, src: str, payload: object) -> None:
+        if not isinstance(payload, WaitForReport):
+            return
+        # Per-reporter sequence number: ignore stale (reordered) reports.
+        if payload.seq <= self._last_seq.get(payload.reporter, 0):
+            return
+        self._last_seq[payload.reporter] = payload.seq
+        self.reports_received += 1
+        self.graph.replace_edges_from(payload.reporter, payload.edges, self._ownership)
+        cycle = self.graph.find_cycle()
+        if cycle is not None:
+            self.deadlocks.append((self.sim.now, cycle))
+            if self.on_deadlock is not None:
+                self.on_deadlock(cycle)

@@ -1,0 +1,20 @@
+"""Lock-coupled distributed shared memory (lazy release consistency).
+
+Section 2 of the paper points at "systems that exploit causal relationships
+and other ordering relationships without incorporating this mechanism into
+the communication system", citing Keleher et al.'s lazy release consistency
+[14]; Section 3 (limitation 2) adds that for shared data "locking is the
+standard solution ... making the relative ordering of these memory accesses
+between processors otherwise irrelevant, so CATOCS is not required."
+
+This package implements that idea as a substrate: a lock server owns each
+lock and the latest values of the variables it protects; acquiring a lock
+delivers those values, releasing it ships the critical section's writes
+back.  Consistency travels **with the synchronisation object** — plain
+point-to-point messages, no ordered multicast anywhere — and data-race-free
+programs observe exactly the memory model they expect.
+"""
+
+from repro.dsm.lrc import DsmLockServer, DsmNode
+
+__all__ = ["DsmLockServer", "DsmNode"]

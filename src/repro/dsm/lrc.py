@@ -1,0 +1,183 @@
+"""Lock server and DSM nodes implementing lazy release consistency.
+
+Protocol (home-based, one hop each way):
+
+1. ``DsmNode.with_lock(lock, fn)`` sends an Acquire to the lock's server.
+2. The server queues requests FIFO; a Grant carries the **latest values of
+   every variable the lock protects** (and their versions).
+3. The node installs those values, runs ``fn(memory)`` — a plain function
+   mutating a dict view of shared memory — and sends a Release carrying the
+   writes, which the server installs as the new protected state.
+
+The ordering guarantee is exactly release consistency: updates made under a
+lock are visible to the *next* holder of that lock (and transitively
+onward).  Nothing orders un-synchronised accesses — data races see stale
+values, which the tests demonstrate as the expected behaviour rather than a
+bug, mirroring the paper's point that the consistency requirement lives in
+the application's synchronisation, not in message ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+
+@dataclass
+class Acquire:
+    lock: str
+    requester: str
+    request_id: int
+
+
+@dataclass
+class Grant:
+    lock: str
+    request_id: int
+    #: latest protected state: var -> (value, version)
+    values: Dict[str, Tuple[Any, int]]
+
+
+@dataclass
+class Release:
+    lock: str
+    holder: str
+    #: writes made under the lock: var -> value
+    writes: Dict[str, Any]
+
+
+@dataclass
+class _LockState:
+    holder: Optional[str] = None
+    queue: List[Tuple[str, int]] = field(default_factory=list)  # (node, request id)
+    #: var -> (value, version)
+    values: Dict[str, Tuple[Any, int]] = field(default_factory=dict)
+
+
+class DsmLockServer(Process):
+    """Home node for a set of locks and the variables they protect."""
+
+    def __init__(self, sim: Simulator, network: Network, pid: str,
+                 initial: Optional[Dict[str, Dict[str, Any]]] = None) -> None:
+        super().__init__(sim, network, pid)
+        self._locks: Dict[str, _LockState] = {}
+        for lock, values in (initial or {}).items():
+            state = self._locks.setdefault(lock, _LockState())
+            state.values = {var: (value, 1) for var, value in values.items()}
+        self.grants = 0
+        self.releases = 0
+
+    def protected_value(self, lock: str, var: str) -> Any:
+        state = self._locks.get(lock)
+        if state is None or var not in state.values:
+            return None
+        return state.values[var][0]
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, Acquire):
+            state = self._locks.setdefault(payload.lock, _LockState())
+            if state.holder is None:
+                self._grant(state, payload.lock, payload.requester, payload.request_id)
+            else:
+                state.queue.append((payload.requester, payload.request_id))
+        elif isinstance(payload, Release):
+            state = self._locks.get(payload.lock)
+            if state is None or state.holder != payload.holder:
+                return
+            self.releases += 1
+            for var, value in payload.writes.items():
+                _, version = state.values.get(var, (None, 0))
+                state.values[var] = (value, version + 1)
+            state.holder = None
+            if state.queue:
+                node, request_id = state.queue.pop(0)
+                self._grant(state, payload.lock, node, request_id)
+
+    def _grant(self, state: _LockState, lock: str, node: str, request_id: int) -> None:
+        state.holder = node
+        self.grants += 1
+        self.send(node, Grant(lock=lock, request_id=request_id,
+                              values=dict(state.values)))
+
+
+#: critical section body: receives a mutable dict view of protected memory
+CriticalSection = Callable[[Dict[str, Any]], None]
+
+
+class DsmNode(Process):
+    """A processor with a local (possibly stale) view of shared memory."""
+
+    def __init__(self, sim: Simulator, network: Network, pid: str,
+                 server: str, hold_time: float = 2.0) -> None:
+        super().__init__(sim, network, pid)
+        self.server = server
+        self.hold_time = hold_time
+        #: local memory image: var -> value (updated at acquire time)
+        self.memory: Dict[str, Any] = {}
+        self._versions: Dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, Tuple[str, CriticalSection, Optional[Callable[[], None]]]] = {}
+        self.sections_run = 0
+
+    # -- public API -------------------------------------------------------------------
+
+    def with_lock(self, lock: str, fn: CriticalSection,
+                  on_done: Optional[Callable[[], None]] = None) -> None:
+        """Run ``fn`` under ``lock``: acquire, install fresh values, execute,
+        release with the writes."""
+        request_id = next(self._ids)
+        self._pending[request_id] = (lock, fn, on_done)
+        self.send(self.server, Acquire(lock=lock, requester=self.pid,
+                                       request_id=request_id))
+
+    def read_local(self, var: str, default: Any = None) -> Any:
+        """Unsynchronised read of the local image — may be stale, by design."""
+        return self.memory.get(var, default)
+
+    # -- protocol ----------------------------------------------------------------------
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if not isinstance(payload, Grant):
+            return
+        pending = self._pending.pop(payload.request_id, None)
+        if pending is None:
+            return
+        lock, fn, on_done = pending
+        # Install the protected state we just became responsible for.
+        for var, (value, version) in payload.values.items():
+            if version >= self._versions.get(var, 0):
+                self.memory[var] = value
+                self._versions[var] = version
+        # Run the critical section against a tracked view.
+        view = _TrackingDict(self.memory)
+        fn(view)
+        self.sections_run += 1
+        # Model the critical section taking time, then release with writes.
+        self.set_timer(self.hold_time, self._release, lock, view.writes, on_done)
+
+    def _release(self, lock: str, writes: Dict[str, Any],
+                 on_done: Optional[Callable[[], None]]) -> None:
+        for var in writes:
+            self._versions[var] = self._versions.get(var, 0) + 1
+        self.send(self.server, Release(lock=lock, holder=self.pid, writes=writes))
+        if on_done is not None:
+            on_done()
+
+
+class _TrackingDict(dict):
+    """Dict view recording which keys the critical section wrote."""
+
+    def __init__(self, backing: Dict[str, Any]) -> None:
+        super().__init__(backing)
+        self._backing = backing
+        self.writes: Dict[str, Any] = {}
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        super().__setitem__(key, value)
+        self._backing[key] = value
+        self.writes[key] = value

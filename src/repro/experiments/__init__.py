@@ -1,0 +1,31 @@
+"""Experiment harness: one module per paper artifact (figure or claim).
+
+Every experiment exposes ``run_eXX(...) -> ExperimentResult`` producing the
+table/series the paper's argument corresponds to, plus boolean ``checks``
+that encode the *shape* the reproduction must exhibit (who wins, which
+anomaly occurs, which growth trend holds).  The benchmark suite executes
+them; EXPERIMENTS.md records paper-claim vs measured for each.
+
+Index (see DESIGN.md for the full mapping):
+
+====  =================================================================
+E01   Figure 1 — event diagram, happens-before and concurrency
+E02   Figure 2 — hidden channel (shop floor + shared DB)
+E03   Figure 3 — external channel (fire / fire-out)
+E04   Figure 4 — trading false crossing
+E05   Section 5 — buffering & causal-graph growth with group size
+E06   Section 3.4 — false-causality delivery delay
+E07   Section 3.4/5 — per-message ordering overhead
+E08   Section 4.2 — stable-predicate detection cost
+E09   Section 4.4 — replicated data: Deceit-style vs Harp-style
+E10   Section 4.6 — real-time sufficient consistency
+E11   Appendix 9.1 — drilling cell message complexity
+E12   Appendix 9.2 — RPC deadlock detection cost & generality
+E13   Section 5 — membership-change cost with group size
+E14   Section 4.1 — Netnews causal-group explosion vs reference cache
+====  =================================================================
+"""
+
+from repro.experiments.harness import ExperimentResult, Table, fit_power_law
+
+__all__ = ["ExperimentResult", "Table", "fit_power_law"]

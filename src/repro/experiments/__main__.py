@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — run the reproduction suite."""
+
+import sys
+
+from repro.experiments.run_all import main
+
+raise SystemExit(main(sys.argv[1:]))

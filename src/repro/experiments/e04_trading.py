@@ -1,0 +1,62 @@
+"""E04 — Figure 4: the trading-floor false crossing.
+
+Sweeps the theoretical pricer's lag across orderings.  Reproduction
+criteria: false crossings appear under causal AND total multicast once the
+theoretical data trails the option feed by about a tick ("can't say the
+whole story" — the constraint is stronger than happens-before), and the
+dependency-field display never shows one.
+"""
+
+from __future__ import annotations
+
+from repro.apps.trading import run_trading
+from repro.experiments.harness import ExperimentResult, Table
+
+
+def run_e04(seed: int = 0, ticks: int = 8) -> ExperimentResult:
+    table = Table(
+        "Figure 4: false crossings at the monitor",
+        ["ordering", "theo lag (latency)", "naive crossings",
+         "fixed crossings", "stale theo flagged"],
+    )
+    anomaly_causal = False
+    anomaly_total = False
+    fix_clean = True
+    for ordering in ("causal", "total-seq", "total-agreed"):
+        for theo_latency in (3.0, 15.0, 25.0, 40.0):
+            result = run_trading(
+                seed=seed, ordering=ordering, ticks=ticks,
+                theo_latency=theo_latency,
+            )
+            table.add_row(
+                ordering, theo_latency,
+                result.false_crossings_naive,
+                result.false_crossings_fixed,
+                result.stale_theo_flagged,
+            )
+            if result.false_crossings_naive > 0:
+                if ordering == "causal":
+                    anomaly_causal = True
+                else:
+                    anomaly_total = True
+            if result.false_crossings_fixed > 0:
+                fix_clean = False
+
+    checks = {
+        "false crossings under causal multicast": anomaly_causal,
+        "false crossings under total multicast": anomaly_total,
+        "dependency-field display never crosses": fix_clean,
+    }
+    return ExperimentResult(
+        experiment_id="E04",
+        title="Figure 4 — trading: option vs theoretical price false crossing",
+        tables=[table],
+        checks=checks,
+        notes=(
+            "A theoretical price must order after its base option price and "
+            "before all later changes to it — a semantic constraint between "
+            "*concurrent* messages, hence unenforceable by any CATOCS "
+            "discipline.  The id+version dependency field keeps the display "
+            "consistent with no multicast ordering at all."
+        ),
+    )

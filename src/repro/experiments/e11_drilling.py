@@ -1,0 +1,81 @@
+"""E11 — Appendix 9.1: drilling-cell message complexity.
+
+Sweeps the cell size with work proportional to it (holes = 4·D).  Birman's
+design multicasts every completion to all D controllers: application
+messages ~ (H+1)·D ~ 4·D², while the central-controller design exchanges a
+constant number of point-to-point messages per hole (~3·H ~ 12·D).  Both
+designs must drill every hole exactly once and, under a driller failure,
+account for every hole as done-or-checked with no double drilling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.drilling import run_drilling_catocs, run_drilling_central
+from repro.experiments.harness import ExperimentResult, Table, fit_power_law
+
+
+def run_e11(seed: int = 0, sizes: Sequence[int] = (2, 4, 6, 8),
+            holes_per_driller: int = 4) -> ExperimentResult:
+    table = Table(
+        "Drilling cell: application messages vs cell size D (holes = 4D)",
+        ["D", "holes", "catocs app msgs", "central app msgs",
+         "catocs double-drilled", "central double-drilled"],
+    )
+    catocs_msgs, central_msgs = [], []
+    all_correct = True
+    for drillers in sizes:
+        holes = holes_per_driller * drillers
+        catocs = run_drilling_catocs(seed=seed, drillers=drillers, holes=holes)
+        central = run_drilling_central(seed=seed, drillers=drillers, holes=holes)
+        catocs_msgs.append(catocs.app_messages)
+        central_msgs.append(central.app_messages)
+        table.add_row(drillers, holes, catocs.app_messages, central.app_messages,
+                      catocs.double_drilled, central.double_drilled)
+        if (catocs.double_drilled or central.double_drilled
+                or len(catocs.completed) != holes or len(central.completed) != holes):
+            all_correct = False
+
+    ns = [float(s) for s in sizes]
+    catocs_exp, _ = fit_power_law(ns, catocs_msgs)
+    central_exp, _ = fit_power_law(ns, central_msgs)
+    fits = Table("Fitted message growth (msgs ~ D^k)",
+                 ["design", "exponent k", "expectation"])
+    fits.add_row("catocs broadcast", round(catocs_exp, 2), "~2 (quadratic)")
+    fits.add_row("central controller", round(central_exp, 2), "~1 (linear)")
+
+    # Failure behaviour at a representative size.
+    cf = run_drilling_catocs(seed=seed, drillers=4, holes=16, crash_driller_at=50.0)
+    sf = run_drilling_central(seed=seed, drillers=4, holes=16, crash_driller_at=50.0)
+    failure = Table(
+        "Driller failure at t=50 (D=4, 16 holes)",
+        ["design", "holes done", "checklist", "double-drilled", "all accounted"],
+    )
+    failure.add_row("catocs", len(cf.completed), sorted(cf.checklist),
+                    cf.double_drilled, cf.all_accounted)
+    failure.add_row("central", len(sf.completed), sorted(sf.checklist),
+                    sf.double_drilled, sf.all_accounted)
+
+    checks = {
+        "both designs drill every hole exactly once": all_correct,
+        "catocs messages grow ~quadratically (k > 1.6)": catocs_exp > 1.6,
+        "central messages grow ~linearly (k < 1.4)": central_exp < 1.4,
+        "catocs handles failure: all accounted, none double-drilled": (
+            cf.all_accounted and cf.double_drilled == 0 and bool(cf.checklist)
+        ),
+        "central handles failure: all accounted, none double-drilled": (
+            sf.all_accounted and sf.double_drilled == 0 and bool(sf.checklist)
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Appendix 9.1 — drilling: CATOCS broadcast vs central controller",
+        tables=[table, fits, failure],
+        checks=checks,
+        notes=(
+            "'The communication traffic is linear in the number of driller "
+            "controllers, not quadratic as claimed for Birman's solution, "
+            "and no CATOCS is required.'"
+        ),
+    )

@@ -1,0 +1,75 @@
+"""E19 — Section 4.5: replication in the large, availability over ordering.
+
+The paper's claims for large-scale naming: (1) duplicate bindings can be
+resolved by undoing one, and "tolerating the occasional undo ... seems far
+preferable ... than having directory operations significantly delayed";
+(2) updates stay available during partitions and reconcile after; (3) the
+communication state CATOCS would need per node grows with global traffic,
+while the gossip design's is constant.
+
+Measured: the service always converges (every replica resolves every name
+identically); undos happen only for genuinely concurrent duplicates; writes
+issued *during a partition* are all accepted locally and reconciled at
+heal; and the per-server state comparison.
+"""
+
+from __future__ import annotations
+
+from repro.apps.nameservice import run_nameservice
+from repro.experiments.harness import ExperimentResult, Table
+
+
+def run_e19(seed: int = 0, servers: int = 8, names: int = 30) -> ExperimentResult:
+    plain = run_nameservice(seed=seed, servers=servers, names=names)
+    partitioned = run_nameservice(seed=seed, servers=servers, names=names,
+                                  partition_window=(100.0, 700.0))
+
+    table = Table(
+        f"Global name service, {servers} replicas, {names} names "
+        f"(~30% bound concurrently at two sites)",
+        ["scenario", "converged", "max survivors/name", "undos",
+         "writes during partition", "gossip msgs"],
+    )
+    table.add_row("healthy", plain.converged, plain.distinct_survivors_per_name,
+                  plain.undos_recorded, 0, plain.gossip_messages)
+    table.add_row("partitioned 100-700", partitioned.converged,
+                  partitioned.distinct_survivors_per_name,
+                  partitioned.undos_recorded,
+                  partitioned.writes_during_partition,
+                  partitioned.gossip_messages)
+
+    state = Table(
+        "Communication-layer state per server",
+        ["design", "state entries", "grows with"],
+    )
+    state.add_row("anti-entropy gossip", plain.comm_state_per_server,
+                  "membership only (constant)")
+    state.add_row("CATOCS group (modelled)", plain.modelled_catocs_state_per_server,
+                  "global in-flight traffic")
+
+    checks = {
+        "every replica converges to identical bindings": (
+            plain.converged and partitioned.converged
+        ),
+        "duplicates are resolved by undo (not blocking)": (
+            plain.undos_recorded >= 1
+        ),
+        "writes stay available during the partition": (
+            partitioned.writes_during_partition > 0
+        ),
+        "gossip comm-state is constant, CATOCS's grows with traffic": (
+            plain.comm_state_per_server < plain.modelled_catocs_state_per_server / 10
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="E19",
+        title="Section 4.5 — replication in the large: a name service on gossip + undo",
+        tables=[table, state],
+        checks=checks,
+        notes=(
+            "No ordering protocol and no quorum: full write availability, "
+            "deterministic duplicate resolution, convergence by anti-entropy "
+            "— 'a more specialized solution' that the paper argues beats a "
+            "general CATOCS at this scale."
+        ),
+    )

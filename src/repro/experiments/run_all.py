@@ -1,0 +1,79 @@
+"""Run every experiment and print its tables and verdicts.
+
+Usage::
+
+    python -m repro.experiments            # all experiments
+    python -m repro.experiments E04 E09    # a subset
+    python -m repro.experiments --list     # names only
+
+Exit status is non-zero if any reproduction check fails.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments.harness import ExperimentResult
+
+
+def registry() -> Dict[str, Callable[[], ExperimentResult]]:
+    """Lazy experiment registry (imports are deferred to keep --list fast)."""
+    from repro.experiments.e01_event_diagram import run_e01
+    from repro.experiments.e02_hidden_channel import run_e02
+    from repro.experiments.e03_external_channel import run_e03
+    from repro.experiments.e04_trading import run_e04
+    from repro.experiments.e05_scaling import run_e05
+    from repro.experiments.e06_false_causality import run_e06
+    from repro.experiments.e07_overhead import run_e07
+    from repro.experiments.e08_detection import run_e08
+    from repro.experiments.e09_replication import run_e09
+    from repro.experiments.e10_realtime import run_e10
+    from repro.experiments.e11_drilling import run_e11
+    from repro.experiments.e12_rpc_deadlock import run_e12
+    from repro.experiments.e13_membership import run_e13
+    from repro.experiments.e14_netnews import run_e14
+    from repro.experiments.e15_piggyback import run_e15
+    from repro.experiments.e16_stability import run_e16
+    from repro.experiments.e17_partitioning import run_e17
+    from repro.experiments.e18_netnews_causal import run_e18
+    from repro.experiments.e19_nameservice import run_e19
+
+    return {
+        "E01": run_e01, "E02": run_e02, "E03": run_e03, "E04": run_e04,
+        "E05": run_e05, "E06": run_e06, "E07": run_e07, "E08": run_e08,
+        "E09": run_e09, "E10": run_e10, "E11": run_e11, "E12": run_e12,
+        "E13": run_e13, "E14": run_e14, "E15": run_e15, "E16": run_e16,
+        "E17": run_e17, "E18": run_e18, "E19": run_e19,
+    }
+
+
+def main(argv: List[str]) -> int:
+    experiments = registry()
+    if "--list" in argv:
+        for name in experiments:
+            print(name)
+        return 0
+    wanted = [a.upper() for a in argv if not a.startswith("-")] or list(experiments)
+    unknown = [w for w in wanted if w not in experiments]
+    if unknown:
+        print(f"unknown experiments: {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    failures: List[str] = []
+    for name in wanted:
+        result = experiments[name]()
+        print(result.render())
+        print()
+        print("#" * 78)
+        print()
+        if not result.passed:
+            failures.append(name)
+    total_checks = 0
+    print(f"ran {len(wanted)} experiments; "
+          f"{'ALL PASSED' if not failures else 'FAILED: ' + ', '.join(failures)}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,123 @@
+"""The active causal graph of Section 5.
+
+Nodes are messages not yet known stable (delivered everywhere); an arc from
+m1 to m2 records that m1 potentially causally precedes m2.  Section 5 argues
+the node count grows with N (group size x propagation diameter) and the arc
+count quadratically — "a process that multicasts a new message to the group
+after receiving a message introduces N new arcs".  Experiment E05 instruments
+a running causal-multicast group with this structure and measures both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+
+@dataclass
+class _GraphNode:
+    msg_id: Hashable
+    size: int
+    preds: Set[Hashable] = field(default_factory=set)
+    succs: Set[Hashable] = field(default_factory=set)
+
+
+class CausalGraph:
+    """Directed acyclic graph of unstable messages and potential-causality arcs."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[Hashable, _GraphNode] = {}
+        self.peak_nodes = 0
+        self.peak_arcs = 0
+        self.peak_bytes = 0
+        self.total_arcs_added = 0
+        self._arcs = 0
+        self._bytes = 0
+
+    # -- mutation -------------------------------------------------------------
+
+    def add_message(self, msg_id: Hashable, predecessors: Set[Hashable], size: int = 0) -> None:
+        """Insert a new message causally after ``predecessors``.
+
+        Predecessors already stabilised (absent) are ignored; their influence
+        on the new message's delivery constraints has already been discharged.
+        """
+        if msg_id in self._nodes:
+            return
+        node = _GraphNode(msg_id=msg_id, size=size)
+        self._nodes[msg_id] = node
+        self._bytes += size
+        for pred in predecessors:
+            pred_node = self._nodes.get(pred)
+            if pred_node is None:
+                continue
+            pred_node.succs.add(msg_id)
+            node.preds.add(pred)
+            self._arcs += 1
+            self.total_arcs_added += 1
+        self._update_peaks()
+
+    def stabilize(self, msg_id: Hashable) -> None:
+        """Remove a message known delivered everywhere, and its incident arcs."""
+        node = self._nodes.pop(msg_id, None)
+        if node is None:
+            return
+        self._bytes -= node.size
+        for pred in node.preds:
+            pred_node = self._nodes.get(pred)
+            if pred_node is not None:
+                pred_node.succs.discard(msg_id)
+        for succ in node.succs:
+            succ_node = self._nodes.get(succ)
+            if succ_node is not None:
+                succ_node.preds.discard(msg_id)
+        self._arcs -= len(node.preds) + len(node.succs)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def arc_count(self) -> int:
+        return self._arcs
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._bytes
+
+    def contains(self, msg_id: Hashable) -> bool:
+        return msg_id in self._nodes
+
+    def predecessors(self, msg_id: Hashable) -> Set[Hashable]:
+        node = self._nodes.get(msg_id)
+        return set(node.preds) if node else set()
+
+    def successors(self, msg_id: Hashable) -> Set[Hashable]:
+        node = self._nodes.get(msg_id)
+        return set(node.succs) if node else set()
+
+    def frontier(self) -> List[Hashable]:
+        """Messages with no unstable predecessor (deliverable first)."""
+        return [mid for mid, node in self._nodes.items() if not node.preds]
+
+    def _update_peaks(self) -> None:
+        if len(self._nodes) > self.peak_nodes:
+            self.peak_nodes = len(self._nodes)
+        if self._arcs > self.peak_arcs:
+            self.peak_arcs = self._arcs
+        if self._bytes > self.peak_bytes:
+            self.peak_bytes = self._bytes
+
+    def metrics(self) -> Dict[str, int]:
+        """Current and peak sizes, for the E05 scaling sweep."""
+        return {
+            "nodes": self.node_count,
+            "arcs": self.arc_count,
+            "bytes": self.buffered_bytes,
+            "peak_nodes": self.peak_nodes,
+            "peak_arcs": self.peak_arcs,
+            "peak_bytes": self.peak_bytes,
+            "total_arcs_added": self.total_arcs_added,
+        }

@@ -1,0 +1,40 @@
+"""Lamport scalar logical clocks [16].
+
+A Lamport clock provides a total order consistent with happens-before when
+combined with a process-id tiebreak — the "local timestamp of the coordinator
+... plus node id to break ties" mechanism the paper recommends for ordering
+optimistic-transaction commits (Section 4.3) without CATOCS.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class LamportClock:
+    """Scalar logical clock for one process."""
+
+    def __init__(self, pid: str, start: int = 0) -> None:
+        self.pid = pid
+        self.time = start
+
+    def tick(self) -> int:
+        """Advance for a local event; returns the new time."""
+        self.time += 1
+        return self.time
+
+    def stamp(self) -> Tuple[int, str]:
+        """Advance and return a totally-orderable timestamp ``(time, pid)``."""
+        return (self.tick(), self.pid)
+
+    def observe(self, other_time: int) -> int:
+        """Merge a received timestamp (receive-event rule); returns new time."""
+        self.time = max(self.time, other_time) + 1
+        return self.time
+
+    def peek(self) -> int:
+        """Current time without advancing."""
+        return self.time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LamportClock({self.pid}={self.time})"

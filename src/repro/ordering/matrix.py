@@ -1,0 +1,75 @@
+"""Matrix clocks.
+
+A matrix clock tracks, for each process pair (i, j), how far process i is
+known to have advanced from j's perspective.  CATOCS stability tracking needs
+exactly this: a message sent by ``p`` with sequence ``s`` is *stable* when
+every member's known receive vector covers ``(p, s)``.  The matrix is the
+"amount of state maintained by the communication system" whose growth
+Section 5 worries about — it is quadratic in group size by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.ordering.vector import VectorClock
+
+
+class MatrixClock:
+    """One row per process: what we believe each process has seen."""
+
+    def __init__(self, pids: Iterable[str]) -> None:
+        self._pids = list(pids)
+        self._rows: Dict[str, VectorClock] = {
+            pid: VectorClock.zero(self._pids) for pid in self._pids
+        }
+
+    @property
+    def pids(self):
+        return tuple(self._pids)
+
+    def row(self, pid: str) -> VectorClock:
+        """The vector clock we believe ``pid`` has reached."""
+        return self._rows[pid]
+
+    def update_row(self, pid: str, clock: VectorClock) -> None:
+        """Merge fresher knowledge about ``pid``'s progress.
+
+        Unknown observers are ignored: after a membership change, straggler
+        traffic from a departed (but still running) member must not crash
+        or distort the rebuilt matrix.
+        """
+        row = self._rows.get(pid)
+        if row is not None:
+            row.merge_in(clock)
+
+    def set_component(self, observer: str, subject: str, count: int) -> None:
+        """Record that ``observer`` has seen ``subject``'s first ``count`` events."""
+        row = self._rows.get(observer)
+        if row is not None and count > row[subject]:
+            row.merge_in(VectorClock({subject: count}))
+
+    def min_vector(self) -> VectorClock:
+        """Componentwise minimum over all rows: events known seen by *everyone*.
+
+        An event covered by this vector is stable — safe to discard from
+        atomic-delivery buffers.
+        """
+        if not self._pids:
+            return VectorClock()
+        mins: Dict[str, int] = {}
+        for subject in self._pids:
+            mins[subject] = min(self._rows[observer][subject] for observer in self._pids)
+        return VectorClock(mins)
+
+    def stable(self, sender: str, seq: int) -> bool:
+        """True iff message ``seq`` from ``sender`` is known received by all."""
+        return all(self._rows[observer][sender] >= seq for observer in self._pids)
+
+    def size_bytes(self) -> int:
+        """Storage footprint: N vector clocks of N entries — O(N^2)."""
+        return sum(row.size_bytes() for row in self._rows.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rows = "; ".join(f"{pid}->{self._rows[pid]!r}" for pid in self._pids)
+        return f"MatrixClock({rows})"

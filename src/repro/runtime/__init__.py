@@ -1,0 +1,17 @@
+"""Run the protocol stack on a real asyncio event loop.
+
+The simulator is the right tool for reproducible experiments, but the
+protocol code itself is runtime-agnostic: it only needs ``now``,
+``call_later``/``call_at`` timers, a seeded RNG, and a datagram ``send``.
+This package provides asyncio-backed implementations of those interfaces
+(:class:`~repro.runtime.asyncio_rt.AsyncioClock`,
+:class:`~repro.runtime.asyncio_rt.AsyncioNetwork`) so the very same
+:class:`~repro.catocs.member.GroupMember`, transaction, and detection code
+runs on wall-clock time — demonstrating that the library is a distributed
+systems implementation that happens to be testable in simulation, not a
+simulation-only artifact.
+"""
+
+from repro.runtime.asyncio_rt import AsyncioClock, AsyncioNetwork, run_for
+
+__all__ = ["AsyncioClock", "AsyncioNetwork", "run_for"]

@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's arguments concern ordering, buffering, and message counts —
+protocol-level properties independent of real time.  This package provides a
+seeded, reproducible stand-in for the LAN/WAN testbeds the CATOCS literature
+assumed: an event-queue kernel (:mod:`repro.sim.kernel`), a point-to-point
+network with configurable latency/jitter/loss and partitions
+(:mod:`repro.sim.network`), an actor-style process model with timers and
+crash/recovery (:mod:`repro.sim.process`), skewed local clocks with a
+synchronisation service (:mod:`repro.sim.clock`), failure injection
+(:mod:`repro.sim.failure`), and an event tracer that renders ASCII event
+diagrams in the style of the paper's Figures 1-4 (:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.kernel import Event, Simulator, Timer
+from repro.sim.network import LinkModel, Network, Packet
+from repro.sim.process import Process
+from repro.sim.clock import ClockSyncService, LocalClock
+from repro.sim.failure import FailureInjector
+from repro.sim.trace import EventTrace, TraceEntry, render_event_diagram
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timer",
+    "LinkModel",
+    "Network",
+    "Packet",
+    "Process",
+    "LocalClock",
+    "ClockSyncService",
+    "FailureInjector",
+    "EventTrace",
+    "TraceEntry",
+    "render_event_diagram",
+]

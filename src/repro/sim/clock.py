@@ -1,0 +1,122 @@
+"""Skewed local clocks and a clock-synchronisation service.
+
+Section 4.6 argues that real-time timestamps from synchronised clocks give
+"temporal precedence" — the ordering real-time systems actually need — with
+far less mechanism than CATOCS.  To evaluate that claim honestly we model
+clocks that are *not* free: each node's clock has an initial offset and a
+drift rate, and a periodic synchronisation service bounds the error, as NTP
+would.  Experiments can then check that timestamp ordering is correct
+whenever event spacing exceeds the residual skew (the paper's microsecond vs
+tens-of-milliseconds argument).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.kernel import Simulator
+
+
+class LocalClock:
+    """A node-local clock: ``read() = true_time * (1 + drift) + offset``."""
+
+    def __init__(self, sim: Simulator, offset: float = 0.0, drift: float = 0.0) -> None:
+        self.sim = sim
+        self.offset = offset
+        self.drift = drift
+        # Anchor so adjustments do not jump historical readings backwards.
+        self._anchor_true = 0.0
+        self._anchor_local = offset
+
+    def read(self) -> float:
+        """Current local time."""
+        elapsed = self.sim.now - self._anchor_true
+        return self._anchor_local + elapsed * (1.0 + self.drift)
+
+    def adjust_to(self, target: float) -> None:
+        """Slew the clock so it currently reads ``target``.
+
+        Re-anchors rather than changing drift, matching how sync daemons step
+        a clock: future readings advance at the same drift rate from the new
+        value.
+        """
+        self._anchor_true = self.sim.now
+        self._anchor_local = target
+
+    def error(self) -> float:
+        """Signed difference between local reading and true simulation time."""
+        return self.read() - self.sim.now
+
+
+class ClockSyncService:
+    """Periodically synchronises a set of clocks to true time within a bound.
+
+    Models a Cristian/NTP-class service: every ``period``, each clock is
+    stepped to true time plus a residual error drawn uniformly from
+    ``[-residual, +residual]``.  The service exposes the message cost it
+    would incur (2 messages per node per round) so the "off the critical
+    path" cost claim of Section 4.6 can be compared against CATOCS per-message
+    overhead.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clocks: Dict[str, LocalClock],
+        period: float = 100.0,
+        residual: float = 0.001,
+    ) -> None:
+        self.sim = sim
+        self.clocks = clocks
+        self.period = period
+        self.residual = residual
+        self.rounds = 0
+        self.sync_messages = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.call_later(self.period, self._round)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def sync_now(self) -> None:
+        """Run one synchronisation round immediately."""
+        self._sync_all()
+
+    def _round(self) -> None:
+        if not self._running:
+            return
+        self._sync_all()
+        self.sim.call_later(self.period, self._round)
+
+    def _sync_all(self) -> None:
+        self.rounds += 1
+        for clock in self.clocks.values():
+            residual = self.sim.rng.uniform(-self.residual, self.residual)
+            clock.adjust_to(self.sim.now + residual)
+            self.sync_messages += 2  # request + response per node per round
+
+    def max_skew(self) -> float:
+        """Largest absolute clock error right now across all clocks."""
+        if not self.clocks:
+            return 0.0
+        return max(abs(c.error()) for c in self.clocks.values())
+
+
+def make_skewed_clocks(
+    sim: Simulator,
+    pids: List[str],
+    max_offset: float = 0.05,
+    max_drift: float = 1e-4,
+) -> Dict[str, LocalClock]:
+    """Create one clock per process with random offset and drift."""
+    clocks: Dict[str, LocalClock] = {}
+    for pid in pids:
+        offset = sim.rng.uniform(-max_offset, max_offset)
+        drift = sim.rng.uniform(-max_drift, max_drift)
+        clocks[pid] = LocalClock(sim, offset=offset, drift=drift)
+    return clocks

@@ -1,0 +1,239 @@
+"""Point-to-point message network with latency, jitter, loss, and partitions.
+
+The network is the *only* channel the CATOCS substrate can see.  Hidden
+channels — the shared database of Figure 2, the physical fire of Figure 3 —
+are modelled as ordinary processes or out-of-band state, which is exactly the
+paper's point: the communication layer has no visibility into them.
+
+Per-link properties are configurable so experiments can create asymmetric
+latencies (the ingredient of most reordering anomalies) and inject loss.
+Links are non-FIFO by default (each packet samples latency independently);
+protocols that need FIFO channels (e.g. Chandy-Lamport) layer sequence
+numbers on top, as they would in practice, or request ``fifo=True`` links.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.process import Process
+
+
+def estimate_size(payload: Any) -> int:
+    """Rough wire size of a payload in bytes.
+
+    Used for the Section 5 buffering measurements.  Objects may define
+    ``size_bytes()`` for an exact figure; otherwise we recursively estimate
+    common containers and assume 8 bytes per scalar, which is adequate for
+    comparing growth *trends* across group sizes.
+    """
+    if hasattr(payload, "size_bytes"):
+        return int(payload.size_bytes())
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8", errors="replace"))
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, dict):
+        return 8 + sum(estimate_size(k) + estimate_size(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 8 + sum(estimate_size(v) for v in payload)
+    if hasattr(payload, "__dict__"):
+        return 8 + estimate_size(vars(payload))
+    return 8
+
+
+@dataclass
+class LinkModel:
+    """Latency/loss model for one directed link.
+
+    ``latency`` is the base one-way delay; each packet adds uniform jitter in
+    ``[0, jitter]`` and is dropped with probability ``drop_prob``.
+    """
+
+    latency: float = 1.0
+    jitter: float = 0.0
+    drop_prob: float = 0.0
+    fifo: bool = False
+
+    def sample_latency(self, rng) -> float:
+        if self.jitter <= 0:
+            return self.latency
+        return self.latency + rng.uniform(0.0, self.jitter)
+
+    def sample_drop(self, rng) -> bool:
+        return self.drop_prob > 0 and rng.random() < self.drop_prob
+
+
+@dataclass
+class Packet:
+    """A message in flight."""
+
+    packet_id: int
+    src: str
+    dst: str
+    payload: Any
+    send_time: float
+    size: int
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, used by every cost experiment."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    partitioned: int = 0
+    to_crashed: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    per_sender: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "partitioned": self.partitioned,
+            "to_crashed": self.to_crashed,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+        }
+
+
+class Network:
+    """Connects named processes and transports payloads between them.
+
+    Processes register via :meth:`attach`; :meth:`send` schedules delivery
+    through the destination's ``_receive_packet`` after the sampled latency,
+    unless the packet is dropped, the destination is crashed at delivery
+    time, or a partition separates the endpoints.
+    """
+
+    def __init__(self, sim: Simulator, default_link: Optional[LinkModel] = None) -> None:
+        self.sim = sim
+        self.default_link = default_link or LinkModel()
+        self.stats = NetworkStats()
+        self._processes: Dict[str, "Process"] = {}
+        self._links: Dict[Tuple[str, str], LinkModel] = {}
+        self._packet_ids = itertools.count()
+        self._partition_of: Dict[str, int] = {}
+        self._fifo_clock: Dict[Tuple[str, str], float] = {}
+        self.drop_hooks: list[Callable[[Packet], None]] = []
+
+    # -- topology -----------------------------------------------------------
+
+    def attach(self, process: "Process") -> None:
+        if process.pid in self._processes:
+            raise ValueError(f"duplicate process id: {process.pid}")
+        self._processes[process.pid] = process
+
+    def process(self, pid: str) -> "Process":
+        return self._processes[pid]
+
+    @property
+    def pids(self) -> Tuple[str, ...]:
+        return tuple(self._processes)
+
+    def set_link(self, src: str, dst: str, model: LinkModel) -> None:
+        """Override the link model for the directed pair (src, dst)."""
+        self._links[(src, dst)] = model
+
+    def set_link_symmetric(self, a: str, b: str, model: LinkModel) -> None:
+        self.set_link(a, b, model)
+        self.set_link(b, a, model)
+
+    def link(self, src: str, dst: str) -> LinkModel:
+        return self._links.get((src, dst), self.default_link)
+
+    # -- partitions ---------------------------------------------------------
+
+    def partition(self, *groups: Set[str]) -> None:
+        """Split processes into disjoint partitions.
+
+        Processes not named in any group stay in partition 0 along with the
+        first group.  Packets only flow within a partition.
+        """
+        self._partition_of = {}
+        for index, group in enumerate(groups):
+            for pid in group:
+                self._partition_of[pid] = index
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partition_of = {}
+
+    def connected(self, a: str, b: str) -> bool:
+        return self._partition_of.get(a, 0) == self._partition_of.get(b, 0)
+
+    # -- transport ----------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any) -> Optional[Packet]:
+        """Transmit ``payload`` from ``src`` to ``dst``.
+
+        Returns the in-flight :class:`Packet`, or None if it was dropped (by
+        loss, partition, or a crashed destination at send time — the common
+        failure model for datagram networks).
+        """
+        if dst not in self._processes:
+            raise KeyError(f"unknown destination: {dst}")
+        size = estimate_size(payload)
+        packet = Packet(
+            packet_id=next(self._packet_ids),
+            src=src,
+            dst=dst,
+            payload=payload,
+            send_time=self.sim.now,
+            size=size,
+        )
+        self.stats.sent += 1
+        self.stats.bytes_sent += size
+        self.stats.per_sender[src] = self.stats.per_sender.get(src, 0) + 1
+
+        if not self.connected(src, dst):
+            self.stats.partitioned += 1
+            self._on_drop(packet)
+            return None
+        model = self.link(src, dst)
+        if model.sample_drop(self.sim.rng):
+            self.stats.dropped += 1
+            self._on_drop(packet)
+            return None
+
+        arrival = self.sim.now + model.sample_latency(self.sim.rng)
+        if model.fifo:
+            key = (src, dst)
+            arrival = max(arrival, self._fifo_clock.get(key, 0.0))
+            self._fifo_clock[key] = arrival
+        self.sim.call_at(arrival, self._deliver, packet)
+        return packet
+
+    def _deliver(self, packet: Packet) -> None:
+        process = self._processes.get(packet.dst)
+        if process is None or not process.alive:
+            self.stats.to_crashed += 1
+            self._on_drop(packet)
+            return
+        if not self.connected(packet.src, packet.dst):
+            # Partition formed while the packet was in flight.
+            self.stats.partitioned += 1
+            self._on_drop(packet)
+            return
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += packet.size
+        process._receive_packet(packet)
+
+    def _on_drop(self, packet: Packet) -> None:
+        for hook in self.drop_hooks:
+            hook(packet)

@@ -1,0 +1,100 @@
+"""Actor-style process model.
+
+A :class:`Process` is a named participant attached to a :class:`Network`.
+Subclasses override :meth:`on_message` (and optionally :meth:`on_start`,
+:meth:`on_crash`, :meth:`on_recover`).  Processes can arm timers; timers are
+suppressed while the process is crashed.
+
+Crash semantics follow the fail-stop model of the CATOCS literature: a
+crashed process receives nothing and executes nothing until (optionally)
+recovered, at which point volatile state is whatever the subclass's
+``on_recover`` reconstructs — by default everything survives, and subclasses
+modelling volatile state (e.g. the Deceit write-safety experiments) clear it
+explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.network import Network, Packet
+
+
+class Process:
+    """Base class for all simulated participants."""
+
+    def __init__(self, sim: Simulator, network: Network, pid: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.pid = pid
+        self.alive = True
+        self.crash_count = 0
+        self._timers: List[Timer] = []
+        network.attach(self)
+        sim.call_at(sim.now, self._start)
+
+    # -- lifecycle hooks (override in subclasses) ----------------------------
+
+    def on_start(self) -> None:
+        """Called once when the simulation begins executing this process."""
+
+    def on_message(self, src: str, payload: Any) -> None:
+        """Called for every packet delivered to this process."""
+
+    def on_crash(self) -> None:
+        """Called when the process crashes (before timers are suppressed)."""
+
+    def on_recover(self) -> None:
+        """Called when a crashed process restarts."""
+
+    # -- services ------------------------------------------------------------
+
+    def send(self, dst: str, payload: Any) -> None:
+        """Send a payload to another process.  No-op while crashed."""
+        if not self.alive:
+            return
+        self.network.send(self.pid, dst, payload)
+
+    def set_timer(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
+        """Arm a timer that fires ``fn(*args)`` unless this process crashes."""
+        timer = self.sim.call_later(delay, self._fire_timer, fn, args)
+        self._timers.append(timer)
+        return timer
+
+    def _fire_timer(self, fn: Callable[..., None], args: tuple) -> None:
+        if self.alive:
+            fn(*args)
+
+    # -- failure -------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop this process: drop pending timers, stop receiving."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crash_count += 1
+        self.on_crash()
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+
+    def recover(self) -> None:
+        """Restart a crashed process."""
+        if self.alive:
+            return
+        self.alive = True
+        self.on_recover()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _start(self) -> None:
+        if self.alive:
+            self.on_start()
+
+    def _receive_packet(self, packet: Packet) -> None:
+        self.on_message(packet.src, packet.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.alive else "down"
+        return f"<{type(self).__name__} {self.pid} ({state})>"

@@ -1,0 +1,34 @@
+"""State-level alternatives to CATOCS.
+
+The paper's recurring prescription — "solve state problems at the state
+level" — is realised here as a small library of general-purpose utilities:
+
+- :mod:`repro.statelevel.versions` — versioned stores ("state-level logical
+  clocks"): version numbers on records obviate communication-level ordering
+  (Fig 2's fix).
+- :mod:`repro.statelevel.dependency` — id+version dependency fields and the
+  general-purpose utilities that maintain dependencies among data objects
+  (the trading-floor fix, Section 4.1).
+- :mod:`repro.statelevel.cache` — the order-preserving data cache that
+  generalises the Netnews and trading solutions.
+- :mod:`repro.statelevel.realtime` — real-time timestamping, latest-value
+  registers, and sensor smoothing ("sufficient consistency", Section 4.6).
+"""
+
+from repro.statelevel.versions import PrescriptiveOrderer, VersionedStore, VersionedValue
+from repro.statelevel.dependency import DependencyTracker, Stamped
+from repro.statelevel.cache import CacheEntry, OrderPreservingCache
+from repro.statelevel.realtime import LatestValueRegister, SensorSmoother, TimestampedReading
+
+__all__ = [
+    "VersionedStore",
+    "VersionedValue",
+    "PrescriptiveOrderer",
+    "Stamped",
+    "DependencyTracker",
+    "OrderPreservingCache",
+    "CacheEntry",
+    "TimestampedReading",
+    "LatestValueRegister",
+    "SensorSmoother",
+]

@@ -1,0 +1,131 @@
+"""The order-preserving data cache (Section 4.1).
+
+"Both the Netnews and the trading solutions outlined above can be
+generalized to the notion of an order-preserving data cache."
+
+Items arrive in any order, each naming the item ids it semantically depends
+on (a response names its inquiry; a computed price names its base datum).
+The cache surfaces an item only when its dependencies are present — or, at
+the application's option, surfaces it immediately but *flagged* out-of-order
+(the paper's "the user would have the option of displaying out-of-order
+responses or not").  Complexity is proportional to the items the user cares
+about, not to global traffic — the scaling contrast with per-inquiry causal
+groups drawn in experiment E14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass
+class CacheEntry:
+    """An item held by the cache."""
+
+    item_id: Hashable
+    value: Any
+    deps: Tuple[Hashable, ...] = ()
+    arrived_at: float = 0.0
+    surfaced: bool = False
+    out_of_order: bool = False
+
+
+class OrderPreservingCache:
+    """Dependency-aware staging cache for disseminated data.
+
+    ``show_out_of_order=False`` (default) holds items back until their
+    dependencies have arrived; ``True`` surfaces them immediately with the
+    ``out_of_order`` flag set.
+    """
+
+    def __init__(self, show_out_of_order: bool = False) -> None:
+        self.show_out_of_order = show_out_of_order
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        self._waiting_on: Dict[Hashable, Set[Hashable]] = {}
+        self.surfaced_log: List[CacheEntry] = []
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def insert(
+        self,
+        item_id: Hashable,
+        value: Any,
+        deps: Iterable[Hashable] = (),
+        now: float = 0.0,
+    ) -> List[CacheEntry]:
+        """Add an item; returns entries surfaced as a consequence (in order)."""
+        if item_id in self._entries:
+            return []
+        entry = CacheEntry(
+            item_id=item_id,
+            value=value,
+            deps=tuple(deps),
+            arrived_at=now,
+        )
+        self._entries[item_id] = entry
+        surfaced: List[CacheEntry] = []
+        missing = {dep for dep in entry.deps if not self._satisfied(dep)}
+        if missing and not self.show_out_of_order:
+            for dep in missing:
+                self._waiting_on.setdefault(dep, set()).add(item_id)
+        else:
+            entry.out_of_order = bool(missing)
+            self._surface(entry, surfaced)
+        # This item may satisfy other items' dependencies.
+        self._release_waiters(item_id, surfaced)
+        return surfaced
+
+    def _satisfied(self, dep: Hashable) -> bool:
+        """A dependency is met only once it has itself been surfaced —
+        presence alone is not enough (it may be waiting on its own deps)."""
+        entry = self._entries.get(dep)
+        return entry is not None and entry.surfaced
+
+    def _release_waiters(self, item_id: Hashable, surfaced: List[CacheEntry]) -> None:
+        if not self._satisfied(item_id):
+            return
+        waiters = self._waiting_on.pop(item_id, set())
+        for waiter_id in sorted(waiters, key=str):
+            waiter = self._entries[waiter_id]
+            if waiter.surfaced:
+                continue
+            still_missing = {d for d in waiter.deps if not self._satisfied(d)}
+            if not still_missing:
+                self._surface(waiter, surfaced)
+                self._release_waiters(waiter_id, surfaced)
+            else:
+                for dep in still_missing:
+                    self._waiting_on.setdefault(dep, set()).add(waiter_id)
+
+    def _surface(self, entry: CacheEntry, surfaced: List[CacheEntry]) -> None:
+        if entry.surfaced:
+            return
+        entry.surfaced = True
+        self.surfaced_log.append(entry)
+        surfaced.append(entry)
+
+    # -- queries ------------------------------------------------------------------
+
+    def get(self, item_id: Hashable) -> Optional[CacheEntry]:
+        return self._entries.get(item_id)
+
+    def surfaced(self) -> List[CacheEntry]:
+        """Entries visible to the user, in the order they became visible."""
+        return list(self.surfaced_log)
+
+    def held(self) -> List[CacheEntry]:
+        """Entries present but withheld pending dependencies."""
+        return [e for e in self._entries.values() if not e.surfaced]
+
+    def missing_dependencies(self) -> Set[Hashable]:
+        """Item ids currently awaited (known only by reference)."""
+        return set(self._waiting_on)
+
+    def state_size(self) -> int:
+        """Bookkeeping entries held — the E14 comparison metric.
+
+        Proportional to items of interest plus awaited references, not to
+        group-wide message traffic.
+        """
+        return len(self._entries) + sum(len(w) for w in self._waiting_on.values())

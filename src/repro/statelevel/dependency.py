@@ -1,0 +1,108 @@
+"""Dependency fields: id + version of the base object a datum derives from.
+
+Section 4.1 (trading): "Each computed data object records the id and version
+number of its base data object in a designated 'dependency' field.
+General-purpose utilities maintain the dependencies among data objects, and
+applications exploit this information in ordering and presenting data."
+
+A :class:`Stamped` datum names its own (object_id, version) and the exact
+versions of the objects it was computed from.  A :class:`DependencyTracker`
+is the general-purpose utility: it answers whether a datum is *current*
+(derived from the latest known versions of its bases) — the check that
+prevents Figure 4's false crossing, where a theoretical price computed from
+a stale option price is displayed against a newer option price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+Dependency = Tuple[str, int]  # (base object id, base version)
+
+
+@dataclass(frozen=True)
+class Stamped:
+    """A self-describing datum: identity, version, and provenance."""
+
+    object_id: str
+    version: int
+    value: Any
+    deps: Tuple[Dependency, ...] = ()
+
+    def depends_on(self, object_id: str) -> Optional[int]:
+        """Version of ``object_id`` this datum was derived from, if any."""
+        for dep_id, dep_version in self.deps:
+            if dep_id == object_id:
+                return dep_version
+        return None
+
+
+class DependencyTracker:
+    """Maintains latest-known versions and classifies incoming data.
+
+    ``offer`` ingests data in arrival order.  Each datum is accepted into
+    the current view only if it is fresher than what we hold; derived data
+    is additionally classified *consistent* or *stale* against the bases:
+
+    - consistent: every dependency matches the latest version we know of
+      that base (or introduces a newer one);
+    - stale: some dependency names an older version than the base we
+      already display — showing this datum beside the newer base would be
+      exactly the paper's false crossing.
+    """
+
+    def __init__(self) -> None:
+        self._latest: Dict[str, Stamped] = {}
+        self.accepted = 0
+        self.rejected_stale_version = 0
+        self.flagged_stale_deps = 0
+
+    def latest(self, object_id: str) -> Optional[Stamped]:
+        return self._latest.get(object_id)
+
+    def latest_version(self, object_id: str) -> int:
+        datum = self._latest.get(object_id)
+        return datum.version if datum else 0
+
+    def deps_current(self, datum: Stamped) -> bool:
+        """True iff every dependency matches our latest view of its base."""
+        for dep_id, dep_version in datum.deps:
+            if dep_version < self.latest_version(dep_id):
+                return False
+        return True
+
+    def offer(self, datum: Stamped) -> str:
+        """Ingest a datum; returns its classification.
+
+        - ``"applied"``: accepted, dependencies current.
+        - ``"applied-stale-deps"``: accepted as the newest version of its own
+          object, but derived from a base we already know to be outdated —
+          the application should *not* present it as current (Fig 4 fix).
+        - ``"stale"``: older than what we already hold; discarded.
+        """
+        current = self._latest.get(datum.object_id)
+        if current is not None and datum.version <= current.version:
+            self.rejected_stale_version += 1
+            return "stale"
+        deps_ok = self.deps_current(datum)
+        self._latest[datum.object_id] = datum
+        self.accepted += 1
+        if not deps_ok:
+            self.flagged_stale_deps += 1
+            return "applied-stale-deps"
+        return "applied"
+
+    def consistent_view(self) -> Dict[str, Stamped]:
+        """The subset of latest data whose dependencies are all current.
+
+        This is what a display should present: base objects plus derived
+        objects consistent with them.  Derived objects awaiting
+        recomputation (stale deps) are omitted rather than misleadingly
+        shown against newer bases.
+        """
+        return {
+            object_id: datum
+            for object_id, datum in self._latest.items()
+            if self.deps_current(datum)
+        }

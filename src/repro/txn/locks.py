@@ -1,0 +1,180 @@
+"""Shared/exclusive lock manager with strict two-phase locking support.
+
+"Locking is the standard solution" (Section 3, limitation 2): a group of
+operations made mutually exclusive by locks needs no communication-level
+ordering at all.  The manager also exports its wait-for edges, which is what
+the deadlock-detection experiments (E08) consume — the paper's point being
+that under 2PL, wait-for information may be collected in *any* order and
+still yields exactly the true deadlocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockRequestState(enum.Enum):
+    GRANTED = "granted"
+    WAITING = "waiting"
+
+
+@dataclass
+class _Waiter:
+    txn_id: str
+    mode: LockMode
+    callback: Optional[Callable[[], None]] = None
+
+
+@dataclass
+class _LockState:
+    holders: Dict[str, LockMode] = field(default_factory=dict)
+    queue: List[_Waiter] = field(default_factory=list)
+
+
+def _compatible(requested: LockMode, held: LockMode) -> bool:
+    return requested is LockMode.SHARED and held is LockMode.SHARED
+
+
+class LockManager:
+    """Per-server lock table.
+
+    ``acquire`` grants immediately when compatible, otherwise queues the
+    request FIFO and invokes ``callback`` when granted.  ``release_all``
+    implements strict 2PL: all of a transaction's locks release together at
+    commit/abort.  Lock upgrades (S -> X by the sole holder) are supported,
+    with upgrades taking queue priority — the standard treatment.
+    """
+
+    def __init__(self) -> None:
+        self._locks: Dict[str, _LockState] = {}
+        self._held_by_txn: Dict[str, Set[str]] = {}
+        self.grants = 0
+        self.waits = 0
+
+    # -- acquisition -----------------------------------------------------------------
+
+    def acquire(
+        self,
+        txn_id: str,
+        key: str,
+        mode: LockMode,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> LockRequestState:
+        """Request ``key`` in ``mode`` for ``txn_id``.
+
+        Returns GRANTED if the lock is held on return; otherwise WAITING and
+        ``callback`` fires when granted.
+        """
+        state = self._locks.setdefault(key, _LockState())
+        held = state.holders.get(txn_id)
+        if held is not None:
+            if held is mode or held is LockMode.EXCLUSIVE:
+                return LockRequestState.GRANTED  # re-entrant / already stronger
+            # Upgrade S -> X: allowed immediately iff sole holder.
+            if len(state.holders) == 1:
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+                self.grants += 1
+                return LockRequestState.GRANTED
+            # Upgrade must wait for other sharers; queue at the front.
+            self.waits += 1
+            state.queue.insert(0, _Waiter(txn_id, mode, callback))
+            return LockRequestState.WAITING
+
+        if self._grantable(state, txn_id, mode):
+            self._grant(state, txn_id, key, mode)
+            return LockRequestState.GRANTED
+        self.waits += 1
+        state.queue.append(_Waiter(txn_id, mode, callback))
+        return LockRequestState.WAITING
+
+    def _grantable(self, state: _LockState, txn_id: str, mode: LockMode) -> bool:
+        for holder, held_mode in state.holders.items():
+            if holder != txn_id and not _compatible(mode, held_mode):
+                return False
+        # FIFO fairness: an S request behind a queued X must wait, except
+        # that upgrades sit at the queue head and are handled above.
+        if state.queue and not all(w.txn_id == txn_id for w in state.queue):
+            return False
+        return True
+
+    def _grant(self, state: _LockState, txn_id: str, key: str, mode: LockMode) -> None:
+        current = state.holders.get(txn_id)
+        if current is None or mode is LockMode.EXCLUSIVE:
+            state.holders[txn_id] = mode
+        self._held_by_txn.setdefault(txn_id, set()).add(key)
+        self.grants += 1
+
+    # -- release ---------------------------------------------------------------------
+
+    def release_all(self, txn_id: str) -> None:
+        """Release every lock held by ``txn_id`` and wake eligible waiters."""
+        keys = self._held_by_txn.pop(txn_id, set())
+        for key in keys:
+            state = self._locks.get(key)
+            if state is None:
+                continue
+            state.holders.pop(txn_id, None)
+            self._wake(state, key)
+        # Also drop any still-queued requests from this transaction (it may
+        # have been aborted while waiting).
+        for key, state in self._locks.items():
+            state.queue = [w for w in state.queue if w.txn_id != txn_id]
+            self._wake(state, key)
+
+    def _wake(self, state: _LockState, key: str) -> None:
+        progressed = True
+        while progressed and state.queue:
+            progressed = False
+            waiter = state.queue[0]
+            compatible = all(
+                holder == waiter.txn_id or _compatible(waiter.mode, held)
+                for holder, held in state.holders.items()
+            )
+            if compatible:
+                state.queue.pop(0)
+                self._grant(state, waiter.txn_id, key, waiter.mode)
+                if waiter.callback is not None:
+                    waiter.callback()
+                progressed = True
+
+    # -- introspection -----------------------------------------------------------------
+
+    def holders(self, key: str) -> Dict[str, LockMode]:
+        state = self._locks.get(key)
+        return dict(state.holders) if state else {}
+
+    def holds(self, txn_id: str, key: str, mode: Optional[LockMode] = None) -> bool:
+        state = self._locks.get(key)
+        if state is None or txn_id not in state.holders:
+            return False
+        return mode is None or state.holders[txn_id] is mode or (
+            state.holders[txn_id] is LockMode.EXCLUSIVE
+        )
+
+    def locks_of(self, txn_id: str) -> Set[str]:
+        return set(self._held_by_txn.get(txn_id, set()))
+
+    def wait_for_edges(self) -> List[Tuple[str, str]]:
+        """Current (waiter -> holder) edges, for deadlock detection.
+
+        Under 2PL these edges satisfy the paper's Section 4.2 property: the
+        set of edges observed *at any times* whose conjunction forms a cycle
+        witnesses a true deadlock.
+        """
+        edges: List[Tuple[str, str]] = []
+        for state in self._locks.values():
+            for waiter in state.queue:
+                for holder in state.holders:
+                    if holder != waiter.txn_id:
+                        edges.append((waiter.txn_id, holder))
+        return edges
+
+    def waiting_txns(self) -> Set[str]:
+        return {w.txn_id for s in self._locks.values() for w in s.queue}

@@ -1,0 +1,81 @@
+"""Wire messages for the pessimistic transaction protocol (2PL + 2PC)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.txn.locks import LockMode
+
+
+@dataclass
+class LockRequest:
+    txn_id: str
+    key: str
+    mode: LockMode
+    coordinator: str
+
+
+@dataclass
+class LockGranted:
+    txn_id: str
+    key: str
+    server: str
+
+
+@dataclass
+class ReadRequest:
+    txn_id: str
+    key: str
+
+
+@dataclass
+class ReadReply:
+    txn_id: str
+    key: str
+    value: Any
+    version: int
+    server: str
+
+
+@dataclass
+class StageWrite:
+    txn_id: str
+    key: str
+    value: Any
+
+
+@dataclass
+class StageAck:
+    txn_id: str
+    key: str
+    server: str
+
+
+@dataclass
+class Prepare:
+    txn_id: str
+    coordinator: str
+
+
+@dataclass
+class Vote:
+    txn_id: str
+    server: str
+    yes: bool
+    reason: str = ""
+
+
+@dataclass
+class Decision:
+    """Phase 2 of 2PC: commit or abort."""
+
+    txn_id: str
+    commit: bool
+    coordinator: str = ""
+
+
+@dataclass
+class DecisionAck:
+    txn_id: str
+    server: str

@@ -1,0 +1,351 @@
+"""Read-any / write-all-available replicated data with an availability list.
+
+Section 4.4: "a replicated data management system ... using a
+'read-any, write-all-available' protocol can be optimized to match the
+behavior of CATOCS in the presence of failure.  In particular, a transaction
+updating replicated files can drop failed servers from the availability list
+at transaction commit and then commit the transaction with the remaining
+servers."
+
+The client keeps a durable availability list.  Each write runs a compact
+2PC across the listed replicas; replicas that fail to vote within the
+timeout are dropped from the list at commit (the optimisation above) rather
+than aborting the write.  Reads go to any listed replica.  A recovering
+replica must catch up via state transfer before re-entering the list — the
+"mechanism required for bringing servers back up into a consistent state
+... with both CATOCS and transactions".
+
+Updates are durable at every replica (WAL) before acknowledgement, which is
+exactly the property Deceit-style CATOCS replication with write-safety k=0
+gives up (experiment E09 exhibits the resulting lost updates).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.txn.wal import StableStorage, WriteAheadLog
+
+
+@dataclass
+class RepPrepare:
+    write_id: str
+    key: str
+    value: Any
+    client: str
+
+
+@dataclass
+class RepVote:
+    write_id: str
+    replica: str
+    yes: bool
+
+
+@dataclass
+class RepDecision:
+    write_id: str
+    commit: bool
+
+
+@dataclass
+class RepDecisionAck:
+    write_id: str
+    replica: str
+
+
+@dataclass
+class RepRead:
+    read_id: str
+    key: str
+
+
+@dataclass
+class RepReadReply:
+    read_id: str
+    key: str
+    value: Any
+    replica: str
+
+
+@dataclass
+class StateTransferRequest:
+    requester: str
+
+
+@dataclass
+class StateTransferReply:
+    state: Dict[str, Any]
+    replica: str
+
+
+@dataclass
+class RejoinAnnounce:
+    replica: str
+
+
+@dataclass
+class WriteResult:
+    write_id: str
+    key: str
+    status: str  # "committed" | "failed"
+    replicas: Tuple[str, ...]
+    submitted_at: float
+    finished_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.submitted_at
+
+
+class ReplicaServer(Process):
+    """One replica: durable store + prepare/commit participant."""
+
+    def __init__(self, sim: Simulator, network: Network, pid: str) -> None:
+        super().__init__(sim, network, pid)
+        self.stable = StableStorage()
+        self.wal = WriteAheadLog(self.stable)
+        self.store: Dict[str, Any] = {}
+        self._staged: Dict[str, Tuple[str, Any]] = {}
+        self.in_service = True
+        self.commits = 0
+
+    def on_crash(self) -> None:
+        self.store = {}
+        self._staged.clear()
+        self.in_service = False
+
+    def on_recover(self) -> None:
+        # Rebuild from the WAL, then catch up from a peer before serving.
+        self.store = self.wal.recover()
+        self.wal = WriteAheadLog(self.stable)
+
+    def begin_rejoin(self, peer: str) -> None:
+        """Request state transfer from a live replica."""
+        self.send(peer, StateTransferRequest(requester=self.pid))
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, RepPrepare):
+            self._staged[payload.write_id] = (payload.key, payload.value)
+            self.wal.log_update(payload.write_id, payload.key, payload.value)
+            self.wal.log_prepare(payload.write_id)
+            self.send(payload.client, RepVote(write_id=payload.write_id, replica=self.pid, yes=True))
+        elif isinstance(payload, RepDecision):
+            staged = self._staged.pop(payload.write_id, None)
+            if payload.commit:
+                self.wal.log_commit(payload.write_id)
+                if staged is None:
+                    # Crashed between prepare and decision: replay from WAL.
+                    for record in self.wal.records:
+                        if record.kind == "update" and record.txn_id == payload.write_id:
+                            staged = (record.key, record.value)
+                if staged is not None:
+                    key, value = staged
+                    self.store[key] = value
+                    self.commits += 1
+            else:
+                self.wal.log_abort(payload.write_id)
+            self.send(src, RepDecisionAck(write_id=payload.write_id, replica=self.pid))
+        elif isinstance(payload, RepRead):
+            self.send(
+                src,
+                RepReadReply(
+                    read_id=payload.read_id,
+                    key=payload.key,
+                    value=self.store.get(payload.key),
+                    replica=self.pid,
+                ),
+            )
+        elif isinstance(payload, StateTransferRequest):
+            self.send(src, StateTransferReply(state=dict(self.store), replica=self.pid))
+        elif isinstance(payload, StateTransferReply):
+            # We are the rejoiner: adopt the state and announce availability.
+            self.store.update(payload.state)
+            self.in_service = True
+            for pid in self.network.pids:
+                if pid != self.pid:
+                    self.send(pid, RejoinAnnounce(replica=self.pid))
+
+
+class _PendingWrite:
+    def __init__(self, write_id: str, key: str, value: Any, targets: Set[str], now: float,
+                 on_done: Optional[Callable[[WriteResult], None]]) -> None:
+        self.write_id = write_id
+        self.key = key
+        self.value = value
+        self.targets = targets
+        self.votes: Set[str] = set()
+        self.acks: Set[str] = set()
+        self.decided = False
+        self.committed_to: Tuple[str, ...] = ()
+        self.submitted_at = now
+        self.on_done = on_done
+
+
+class ReplicatedStoreClient(Process):
+    """Client with a durable availability list, doing RAWA operations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pid: str,
+        replicas: List[str],
+        vote_timeout: float = 60.0,
+        ack_on_prepared: bool = True,
+    ) -> None:
+        super().__init__(sim, network, pid)
+        self.stable = StableStorage()
+        self.stable.write("availability", list(replicas))
+        self.vote_timeout = vote_timeout
+        #: Harp-style optimisation: a write is durable once every availability-
+        #: list replica has force-logged it (prepared), so the client can be
+        #: answered then; the commit decision propagates asynchronously.
+        self.ack_on_prepared = ack_on_prepared
+        self._ids = itertools.count(1)
+        self._pending: Dict[str, _PendingWrite] = {}
+        self._reads: Dict[str, Callable[[Any], None]] = {}
+        self.write_results: List[WriteResult] = []
+        self.drops = 0
+
+    # -- availability list --------------------------------------------------------------
+
+    @property
+    def availability(self) -> List[str]:
+        return list(self.stable.read("availability", []))
+
+    def _drop_replica(self, replica: str) -> None:
+        current = self.availability
+        if replica in current:
+            current.remove(replica)
+            self.stable.write("availability", current)
+            self.drops += 1
+
+    def add_replica(self, replica: str) -> None:
+        current = self.availability
+        if replica not in current:
+            current.append(replica)
+            self.stable.write("availability", current)
+
+    # -- writes ----------------------------------------------------------------------------
+
+    def write(self, key: str, value: Any, on_done: Optional[Callable[[WriteResult], None]] = None) -> str:
+        """Write-all-available: 2PC across the availability list."""
+        write_id = f"{self.pid}/w#{next(self._ids)}"
+        targets = set(self.availability)
+        pending = _PendingWrite(write_id, key, value, targets, self.sim.now, on_done)
+        self._pending[write_id] = pending
+        if not targets:
+            self._complete(pending, "failed")
+            return write_id
+        for replica in targets:
+            self.send(replica, RepPrepare(write_id=write_id, key=key, value=value, client=self.pid))
+        self.set_timer(self.vote_timeout, self._vote_deadline, write_id)
+        return write_id
+
+    def _vote_deadline(self, write_id: str) -> None:
+        pending = self._pending.get(write_id)
+        if pending is None or pending.decided:
+            return
+        # Drop non-voters from the availability list and commit with the rest.
+        silent = pending.targets - pending.votes
+        for replica in silent:
+            self._drop_replica(replica)
+        self._decide(pending)
+
+    def _decide(self, pending: _PendingWrite) -> None:
+        pending.decided = True
+        voters = pending.votes
+        if not voters:
+            self._complete(pending, "failed")
+            return
+        pending.committed_to = tuple(sorted(voters))
+        for replica in voters:
+            self.send(replica, RepDecision(write_id=pending.write_id, commit=True))
+        if self.ack_on_prepared:
+            # Durable at every listed replica: answer the client now.
+            self._complete(pending, "committed")
+
+    def _complete(self, pending: _PendingWrite, status: str) -> None:
+        self._pending.pop(pending.write_id, None)
+        result = WriteResult(
+            write_id=pending.write_id,
+            key=pending.key,
+            status=status,
+            replicas=pending.committed_to,
+            submitted_at=pending.submitted_at,
+            finished_at=self.sim.now,
+        )
+        self.write_results.append(result)
+        if pending.on_done is not None:
+            pending.on_done(result)
+
+    # -- reads -----------------------------------------------------------------------------
+
+    #: how long to wait for a replica's read reply before failing over
+    read_timeout = 40.0
+
+    def read(self, key: str, on_value: Callable[[Any], None]) -> None:
+        """Read-any: query one replica, failing over down the availability
+        list if it does not answer (it may have crashed since the list was
+        last updated)."""
+        self._read_attempt(key, on_value, attempt=0)
+
+    def _read_attempt(self, key: str, on_value: Callable[[Any], None],
+                      attempt: int) -> None:
+        available = self.availability
+        if attempt >= len(available):
+            on_value(None)
+            return
+        read_id = f"{self.pid}/r#{next(self._ids)}"
+        self._reads[read_id] = on_value
+        target = available[attempt]
+        self.send(target, RepRead(read_id=read_id, key=key))
+        self.set_timer(self.read_timeout, self._read_deadline,
+                       read_id, key, on_value, attempt, target)
+
+    def _read_deadline(self, read_id: str, key: str,
+                       on_value: Callable[[Any], None], attempt: int,
+                       target: str) -> None:
+        if read_id not in self._reads:
+            return  # answered
+        del self._reads[read_id]
+        # The silent replica leaves the availability list, so the *same*
+        # index now names the next candidate (each timeout shrinks the list,
+        # guaranteeing progress).
+        self._drop_replica(target)
+        self._read_attempt(key, on_value, attempt)
+
+    # -- message handling ---------------------------------------------------------------------
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, RepVote):
+            pending = self._pending.get(payload.write_id)
+            if pending is None or pending.decided:
+                return
+            if payload.yes:
+                pending.votes.add(payload.replica)
+            if pending.votes >= pending.targets:
+                self._decide(pending)
+            return
+        if isinstance(payload, RepDecisionAck):
+            pending = self._pending.get(payload.write_id)
+            if pending is None or not pending.decided:
+                return
+            pending.acks.add(payload.replica)
+            if pending.acks >= set(pending.committed_to):
+                self._complete(pending, "committed")
+            return
+        if isinstance(payload, RepReadReply):
+            callback = self._reads.pop(payload.read_id, None)
+            if callback is not None:
+                callback(payload.value)
+            return
+        if isinstance(payload, RejoinAnnounce):
+            self.add_replica(payload.replica)
+            return

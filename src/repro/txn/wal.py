@@ -1,0 +1,125 @@
+"""Write-ahead logging over simulated stable storage.
+
+Durability is the property CATOCS delivery lacks ("message delivery is
+atomic, but not durable", Section 2).  :class:`StableStorage` models a disk:
+its contents survive process crashes.  :class:`WriteAheadLog` provides the
+standard redo discipline: log records are forced before effects are
+acknowledged, and recovery replays committed records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class StableStorage:
+    """Crash-surviving key-value storage.
+
+    Processes lose volatile state on crash (whatever their ``on_crash`` /
+    ``on_recover`` clears); anything written here persists.  Write counts
+    are tracked because forced writes are the cost transactional systems pay
+    for the durability CATOCS does not offer.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self.forced_writes = 0
+        self.reads = 0
+
+    def write(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        self.forced_writes += 1
+
+    def read(self, key: str, default: Any = None) -> Any:
+        self.reads += 1
+        return self._data.get(key, default)
+
+    def keys(self) -> List[str]:
+        return list(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+
+@dataclass
+class LogRecord:
+    """One WAL entry."""
+
+    lsn: int
+    txn_id: str
+    kind: str  # "update" | "prepare" | "commit" | "abort"
+    key: Optional[str] = None
+    value: Any = None
+
+
+class WriteAheadLog:
+    """Redo-only WAL on stable storage.
+
+    ``log_update`` records intended writes; ``log_commit`` makes them
+    durable; :meth:`recover` returns the effects of committed transactions
+    in log order, discarding updates of transactions with no commit record
+    (they aborted, or were in flight at the crash).
+    """
+
+    def __init__(self, storage: Optional[StableStorage] = None) -> None:
+        self.storage = storage or StableStorage()
+        self._records: List[LogRecord] = self.storage.read("wal", [])
+        self._next_lsn = len(self._records)
+
+    def _append(self, record: LogRecord) -> None:
+        self._records.append(record)
+        # Force: the log lives on stable storage, so every append is a write.
+        self.storage.write("wal", list(self._records))
+
+    def log_update(self, txn_id: str, key: str, value: Any) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._append(LogRecord(lsn=lsn, txn_id=txn_id, kind="update", key=key, value=value))
+        return lsn
+
+    def log_prepare(self, txn_id: str) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._append(LogRecord(lsn=lsn, txn_id=txn_id, kind="prepare"))
+        return lsn
+
+    def log_commit(self, txn_id: str) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._append(LogRecord(lsn=lsn, txn_id=txn_id, kind="commit"))
+        return lsn
+
+    def log_abort(self, txn_id: str) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._append(LogRecord(lsn=lsn, txn_id=txn_id, kind="abort"))
+        return lsn
+
+    @property
+    def records(self) -> List[LogRecord]:
+        return list(self._records)
+
+    def prepared_undecided(self) -> List[str]:
+        """Transactions prepared but neither committed nor aborted.
+
+        After a crash these are the in-doubt transactions 2PC recovery must
+        resolve with the coordinator.
+        """
+        prepared: Dict[str, bool] = {}
+        for record in self._records:
+            if record.kind == "prepare":
+                prepared[record.txn_id] = True
+            elif record.kind in ("commit", "abort"):
+                prepared.pop(record.txn_id, None)
+        return list(prepared)
+
+    def recover(self) -> Dict[str, Any]:
+        """Replay committed updates in log order; returns the rebuilt state."""
+        committed = {r.txn_id for r in self._records if r.kind == "commit"}
+        state: Dict[str, Any] = {}
+        for record in self._records:
+            if record.kind == "update" and record.txn_id in committed:
+                assert record.key is not None
+                state[record.key] = record.value
+        return state

@@ -1,0 +1,76 @@
+"""Tests for the replicated file services (Section 4.4)."""
+
+import pytest
+
+from repro.apps.deceit import run_deceit
+from repro.apps.harp import run_harp
+
+
+class TestDeceit:
+    def test_k0_async_ack_latency_zero(self):
+        result = run_deceit(write_safety=0)
+        assert result.mean_ack_latency == 0.0
+        assert result.writes_acked == result.writes_submitted
+
+    def test_k1_synchronous_latency(self):
+        result = run_deceit(write_safety=1)
+        assert result.mean_ack_latency > 5.0  # at least a round trip
+
+    def test_k2_close_to_k1(self):
+        k1 = run_deceit(write_safety=1)
+        k2 = run_deceit(write_safety=2)
+        assert k2.mean_ack_latency < 1.8 * k1.mean_ack_latency
+
+    def test_k0_crash_loses_acknowledged_writes(self):
+        result = run_deceit(write_safety=0, crash_primary_at=163.0)
+        assert result.lost_acked_writes > 0
+
+    def test_k1_crash_loses_no_acknowledged_writes(self):
+        result = run_deceit(write_safety=1, crash_primary_at=163.0)
+        assert result.lost_acked_writes == 0
+
+    def test_replicas_converge_without_failures(self):
+        result = run_deceit(write_safety=1, writes=15)
+        sizes = set(result.surviving_files.values())
+        assert sizes == {15}
+
+    def test_crash_triggers_view_change_flurry(self):
+        result = run_deceit(write_safety=1, crash_primary_at=163.0)
+        assert result.view_changes >= 1
+        assert result.view_change_messages > 0
+
+
+class TestHarp:
+    def test_all_writes_commit_and_replicate(self):
+        result = run_harp(writes=15)
+        assert result.writes_committed == 15
+        assert set(result.surviving_files.values()) == {15}
+        assert result.lost_committed_writes == 0
+
+    def test_replica_crash_drops_from_availability_but_commits_continue(self):
+        result = run_harp(crash_replica_at=163.0)
+        assert result.replicas_dropped == 1
+        assert result.lost_committed_writes == 0
+        assert result.writes_committed >= result.writes_submitted - 1
+
+    def test_recovered_replica_catches_up(self):
+        result = run_harp(crash_replica_at=163.0, recover_at=500.0, writes=20)
+        # after rejoin + state transfer the recovered replica holds all files
+        assert set(result.surviving_files.values()) == {20}
+
+    def test_committed_writes_are_durable_in_wals(self):
+        result = run_harp(writes=10)
+        assert all(count == 10 for count in result.durable_files.values())
+
+
+class TestComparison:
+    def test_harp_latency_comparable_to_synchronous_deceit(self):
+        deceit = run_deceit(write_safety=1)
+        harp = run_harp()
+        assert harp.mean_commit_latency < 2.0 * deceit.mean_ack_latency
+
+    def test_only_deceit_k0_loses_data(self):
+        deceit_k0 = run_deceit(write_safety=0, crash_primary_at=163.0)
+        harp = run_harp(crash_replica_at=163.0)
+        assert deceit_k0.lost_acked_writes > 0
+        assert harp.lost_committed_writes == 0

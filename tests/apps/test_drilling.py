@@ -1,0 +1,47 @@
+"""Tests for the drilling cell (Appendix 9.1)."""
+
+import pytest
+
+from repro.apps.drilling import run_drilling_catocs, run_drilling_central
+
+
+@pytest.mark.parametrize("run", [run_drilling_catocs, run_drilling_central])
+def test_every_hole_drilled_exactly_once(run):
+    result = run(drillers=4, holes=16)
+    assert result.completed == set(range(16))
+    assert result.double_drilled == 0
+    assert result.checklist == set()
+
+
+@pytest.mark.parametrize("run", [run_drilling_catocs, run_drilling_central])
+def test_failure_leaves_all_holes_accounted(run):
+    result = run(drillers=4, holes=16, crash_driller_at=50.0)
+    assert result.all_accounted
+    assert result.double_drilled == 0
+    assert len(result.checklist) >= 1  # the in-progress hole is checked
+    assert result.completed.isdisjoint(result.checklist)
+
+
+def test_catocs_message_cost_exceeds_central():
+    catocs = run_drilling_catocs(drillers=6, holes=24)
+    central = run_drilling_central(drillers=6, holes=24)
+    assert catocs.app_messages > 2 * central.app_messages
+
+
+def test_central_cost_linear_in_holes_not_drillers():
+    few = run_drilling_central(drillers=2, holes=12)
+    many = run_drilling_central(drillers=6, holes=12)
+    # same holes, triple the drillers: message cost roughly unchanged
+    assert abs(many.app_messages - few.app_messages) <= 8
+
+
+def test_catocs_fanout_grows_with_drillers():
+    few = run_drilling_catocs(drillers=2, holes=12)
+    many = run_drilling_catocs(drillers=6, holes=12)
+    assert many.app_messages > 2 * few.app_messages
+
+
+def test_parallelism_speeds_completion():
+    serial = run_drilling_central(drillers=1, holes=8)
+    parallel = run_drilling_central(drillers=4, holes=8)
+    assert parallel.completion_time < serial.completion_time

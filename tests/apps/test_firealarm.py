@@ -1,0 +1,38 @@
+"""Tests for the Figure 3 fire-alarm scenario."""
+
+import pytest
+
+from repro.apps.firealarm import run_firealarm
+
+
+@pytest.mark.parametrize("ordering", ["causal", "total-seq"])
+def test_anomalous_final_belief_under_catocs(ordering):
+    result = run_firealarm(ordering=ordering)
+    assert result.observer_delivery_order == ["fire-1", "fire-2", "fire-out"]
+    assert result.anomaly
+    assert result.naive_final_belief == "out"
+    assert result.true_final_state == "burning"
+
+
+def test_causal_order_still_respected_where_it_exists():
+    # fire-out IS causally after fire-1 (R delivered it first); causal
+    # delivery must keep that edge even while the anomaly persists.
+    result = run_firealarm(ordering="causal")
+    order = result.observer_delivery_order
+    assert order.index("fire-1") < order.index("fire-out")
+
+
+def test_timestamp_fix_tracks_reality():
+    result = run_firealarm()
+    assert result.timestamped_final_belief == "burning"
+
+
+def test_fast_monitor_no_anomaly():
+    result = run_firealarm(monitor_latency=5.0)
+    assert not result.anomaly
+    assert result.naive_final_belief == "burning"
+
+
+def test_clock_skew_well_below_event_spacing():
+    result = run_firealarm()
+    assert result.max_clock_skew < 3.0  # events are 30 time units apart

@@ -1,0 +1,60 @@
+"""Tests for the global name service (Section 4.5)."""
+
+from repro.apps.nameservice import Binding, DirectoryServer, run_nameservice
+from repro.sim import LinkModel, Network, Simulator
+
+
+def test_binding_total_order_is_deterministic():
+    a = Binding("n", "v1", timestamp=1.0, origin="dir0")
+    b = Binding("n", "v2", timestamp=1.0, origin="dir1")
+    assert a.beats(b) and not b.beats(a)
+    c = Binding("n", "v3", timestamp=0.5, origin="dir9")
+    assert c.beats(a)
+
+
+def test_single_binding_propagates_to_all():
+    sim = Simulator(seed=0)
+    net = Network(sim, LinkModel(latency=8.0, jitter=4.0))
+    pids = [f"dir{i}" for i in range(5)]
+    servers = {pid: DirectoryServer(sim, net, pid, pids, gossip_period=30.0)
+               for pid in pids}
+    sim.call_at(10.0, servers["dir2"].bind, "alice", "host-7")
+    sim.run(until=2000)
+    for server in servers.values():
+        assert server.lookup("alice") == "host-7"
+
+
+def test_concurrent_duplicate_resolved_by_undo_everywhere():
+    sim = Simulator(seed=1)
+    net = Network(sim, LinkModel(latency=8.0, jitter=4.0))
+    pids = [f"dir{i}" for i in range(4)]
+    servers = {pid: DirectoryServer(sim, net, pid, pids, gossip_period=30.0)
+               for pid in pids}
+    sim.call_at(10.0, servers["dir0"].bind, "bob", "first")
+    sim.call_at(10.5, servers["dir3"].bind, "bob", "second")
+    sim.run(until=3000)
+    values = {server.lookup("bob") for server in servers.values()}
+    assert values == {"first"}  # earlier timestamp wins deterministically
+    undos = [u for server in servers.values() for u in server.undos]
+    assert undos and all(u.kept.value == "first" for u in undos)
+
+
+def test_partition_does_not_block_writes_and_reconciles():
+    result = run_nameservice(seed=3, servers=6, names=20,
+                             partition_window=(100.0, 600.0))
+    assert result.writes_during_partition > 0
+    assert result.converged
+    assert result.distinct_survivors_per_name == 1
+
+
+def test_convergence_across_seeds():
+    for seed in range(4):
+        result = run_nameservice(seed=seed, servers=6, names=20)
+        assert result.converged, seed
+
+
+def test_lookup_missing_name():
+    sim = Simulator(seed=0)
+    net = Network(sim, LinkModel())
+    server = DirectoryServer(sim, net, "dir0", ["dir0"], gossip_period=0.0)
+    assert server.lookup("ghost") is None

@@ -1,0 +1,41 @@
+"""Tests for the Netnews scenario (Section 4.1)."""
+
+from repro.apps.netnews import run_netnews
+
+
+def test_out_of_order_arrivals_happen_somewhere():
+    total = sum(run_netnews(seed=s).out_of_order_at_reader for s in range(6))
+    assert total > 0
+
+
+def test_cache_never_shows_response_before_inquiry():
+    for seed in range(6):
+        result = run_netnews(seed=seed)
+        assert result.cache_violations == 0
+
+
+def test_cache_holds_exactly_the_out_of_order_responses():
+    for seed in range(6):
+        result = run_netnews(seed=seed)
+        assert result.cache_held >= result.out_of_order_at_reader - result.cache_violations
+
+
+def test_catocs_state_scales_with_global_inquiries():
+    small = run_netnews(seed=1, inquiries=4)
+    large = run_netnews(seed=1, inquiries=16)
+    assert large.catocs_state_entries == 4 * small.catocs_state_entries
+    assert large.causal_groups_needed == 16
+
+
+def test_reader_subscription_limits_cache_state():
+    result = run_netnews(seed=1, inquiries=16, newsgroups=8)
+    # the reader follows 1 of 8 groups: its cache is far smaller than the
+    # per-inquiry-group state the CATOCS design would need
+    assert result.cache_state_entries < result.catocs_state_entries
+
+
+def test_flooding_reaches_everyone():
+    result = run_netnews(seed=2, inquiries=6, chatter=10)
+    # the reader receives all subscribed + unsubscribed articles (hosts
+    # carry everything); count must be total articles posted
+    assert result.reader_articles >= 6 + result.responses + 10 - 2  # allow stragglers

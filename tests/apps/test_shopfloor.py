@@ -1,0 +1,40 @@
+"""Tests for the Figure 2 shop-floor scenario."""
+
+import pytest
+
+from repro.apps.shopfloor import run_shopfloor
+
+
+@pytest.mark.parametrize("ordering", ["causal", "total-seq"])
+def test_anomaly_occurs_under_catocs(ordering):
+    result = run_shopfloor(ordering=ordering)
+    assert result.db_commit_order == ["start", "stop"]
+    assert result.observer_delivery_order == ["stop", "start"]
+    assert result.anomaly
+    assert result.naive_final_status == "running"  # wrong!
+
+
+@pytest.mark.parametrize("ordering", ["causal", "total-seq"])
+def test_version_fix_always_correct(ordering):
+    result = run_shopfloor(ordering=ordering)
+    assert result.versioned_final_status == "stopped"
+    assert result.stale_discarded == 1
+
+
+def test_no_anomaly_with_symmetric_links():
+    result = run_shopfloor(slow_instance_latency=5.0, fast_instance_latency=5.0)
+    assert not result.anomaly
+    assert result.naive_final_status == "stopped"
+    assert result.versioned_final_status == "stopped"
+
+
+def test_db_serialises_semantic_order_regardless():
+    for slow in (5.0, 40.0, 80.0):
+        result = run_shopfloor(slow_instance_latency=slow)
+        assert result.db_commit_order == ["start", "stop"]
+
+
+def test_trace_contains_both_broadcasts():
+    result = run_shopfloor()
+    sends = result.trace.labels(kind="send")
+    assert "start" in sends and "stop" in sends

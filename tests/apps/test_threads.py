@@ -1,0 +1,30 @@
+"""Tests for the multi-threaded-server hidden channel (limitation 1b)."""
+
+from repro.apps.threads import run_thread_channel
+
+
+def test_scheduling_inverts_same_process_multicasts():
+    result = run_thread_channel()
+    assert result.delivery_order == ["stopped", "running"]
+    assert result.anomaly
+    # CATOCS is *faithful* here: per-sender order == send order; the sends
+    # themselves left in the wrong order.  The naive observer ends wrong:
+    assert result.naive_final == "running"
+
+
+def test_shared_memory_versions_fix_it():
+    result = run_thread_channel()
+    assert result.versioned_final == "stopped"
+
+
+def test_no_anomaly_when_threads_send_promptly():
+    result = run_thread_channel(thread1_send_delay=0.5, thread2_send_delay=0.5)
+    assert not result.anomaly
+    assert result.naive_final == "stopped"
+    assert result.versioned_final == "stopped"
+
+
+def test_anomaly_needs_only_scheduling_skew_not_network():
+    # even a tiny scheduling skew (beyond the inter-update gap) suffices
+    result = run_thread_channel(thread1_send_delay=3.0, thread2_send_delay=0.1)
+    assert result.anomaly

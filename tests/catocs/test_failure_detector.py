@@ -1,0 +1,66 @@
+"""Tests for the heartbeat failure detector."""
+
+from repro.catocs import GroupMember, HeartbeatDetector
+from repro.sim import FailureInjector, LinkModel, Network, Simulator
+
+
+def build(seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=3.0))
+    pids = ["a", "b", "c"]
+    members = {}
+    detectors = {}
+    for pid in pids:
+        member = GroupMember(sim, net, pid, group="g", members=pids, ordering="raw")
+        detectors[pid] = HeartbeatDetector(member, period=5.0, timeout=18.0)
+        members[pid] = member
+    return sim, net, members, detectors
+
+
+def test_no_suspicion_while_everyone_beats():
+    sim, net, members, detectors = build()
+    sim.run(until=500)
+    for member in members.values():
+        assert all(member.believes_alive(p) for p in member.view_members)
+
+
+def test_crashed_member_gets_suspected():
+    sim, net, members, detectors = build()
+    suspicions = []
+    detectors["a"].on_suspect.append(suspicions.append)
+    FailureInjector(sim, net).crash_at(50.0, "c")
+    sim.run(until=200)
+    assert "c" in suspicions
+    assert not members["a"].believes_alive("c")
+    assert members["a"].believes_alive("b")
+
+
+def test_recovered_member_is_unsuspected_on_next_heartbeat():
+    sim, net, members, detectors = build()
+    injector = FailureInjector(sim, net)
+    injector.crash_at(50.0, "c")
+    injector.recover_at(150.0, "c")
+    # After recovery c's heartbeat timer is gone; restart its beats.
+    sim.call_at(151.0, detectors["c"]._tick)
+    sim.run(until=400)
+    assert members["a"].believes_alive("c")
+
+
+def test_partition_causes_mutual_suspicion_then_heals():
+    sim, net, members, detectors = build()
+    injector = FailureInjector(sim, net)
+    injector.partition_at(30.0, {"a", "b"}, {"c"})
+    sim.run(until=100)
+    assert not members["a"].believes_alive("c")
+    assert not members["c"].believes_alive("a")
+    injector.heal_at(110.0)
+    sim.run(until=300)
+    assert members["a"].believes_alive("c")
+    assert members["c"].believes_alive("a")
+
+
+def test_heartbeat_cost_accounted():
+    sim, net, members, detectors = build()
+    sim.run(until=100)
+    # ~20 periods x 2 peers each
+    assert detectors["a"].heartbeats_sent >= 30

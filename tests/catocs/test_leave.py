@@ -1,0 +1,69 @@
+"""Graceful departure: leave() versus crash."""
+
+from repro.catocs import build_group
+from repro.sim import LinkModel, Network, Simulator
+
+
+def build(seed=0, n=4):
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=5.0, jitter=2.0))
+    pids = [f"p{i}" for i in range(n)]
+    members = build_group(sim, net, pids, ordering="causal",
+                          with_membership=True,
+                          heartbeat_period=8.0, heartbeat_timeout=28.0)
+    return sim, net, pids, members
+
+
+def test_leave_produces_new_view_without_the_leaver():
+    sim, net, pids, members = build()
+    sim.call_at(100.0, members["p3"].membership.leave)
+    sim.run(until=2000)
+    survivors = [m for m in members.values() if m.alive]
+    assert {m.pid for m in survivors} == {"p0", "p1", "p2"}
+    views = {tuple(sorted(m.view_members)) for m in survivors}
+    assert views == {("p0", "p1", "p2")}
+
+
+def test_leave_is_faster_than_crash_detection():
+    # A voluntary leave announces itself; a crash waits for the heartbeat
+    # timeout.  The leave view change should install sooner.
+    sim1, net1, pids1, members1 = build(seed=1)
+    sim1.call_at(100.0, members1["p3"].membership.leave)
+    sim1.run(until=3000)
+    leave_installed = members1["p0"].membership.view_history[-1].installed_at
+
+    sim2, net2, pids2, members2 = build(seed=1)
+    from repro.sim import FailureInjector
+
+    FailureInjector(sim2, net2).crash_at(100.0, "p3")
+    sim2.run(until=3000)
+    crash_installed = members2["p0"].membership.view_history[-1].installed_at
+    assert leave_installed < crash_installed
+
+
+def test_leavers_messages_survive_even_if_it_held_the_only_copy():
+    sim, net, pids, members = build()
+    # All direct copies of p3's message are lost; only p3's buffer has it.
+    for pid in pids:
+        if pid != "p3":
+            net.set_link("p3", pid, LinkModel(latency=5.0, drop_prob=1.0))
+    sim.call_at(10.0, members["p3"].multicast, "parting-gift")
+    sim.call_at(12.0, net.heal)  # heal does not restore links; fix them:
+    for pid in pids:
+        if pid != "p3":
+            sim.call_at(12.0, net.set_link, "p3", pid, LinkModel(latency=5.0))
+    sim.call_at(20.0, members["p3"].membership.leave, 400.0)
+    sim.run(until=3000)
+    survivors = [m for m in members.values() if m.alive]
+    for m in survivors:
+        assert "parting-gift" in m.delivered_payloads(), m.pid
+
+
+def test_leave_suppresses_new_multicasts():
+    sim, net, pids, members = build()
+    sim.call_at(50.0, members["p3"].membership.leave)
+    sim.call_at(60.0, members["p3"].multicast, "too-late")
+    sim.run(until=2000)
+    survivors = [m for m in members.values() if m.alive]
+    for m in survivors:
+        assert "too-late" not in m.delivered_payloads()

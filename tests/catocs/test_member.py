@@ -1,0 +1,95 @@
+"""Tests for the GroupMember endpoint itself."""
+
+import pytest
+
+from repro.catocs import GroupInstrumentation, GroupMember, build_group
+from repro.sim import EventTrace, LinkModel, Network, Simulator
+
+
+def test_member_must_be_in_its_own_group():
+    sim = Simulator()
+    net = Network(sim, LinkModel())
+    with pytest.raises(ValueError):
+        GroupMember(sim, net, "outsider", group="g", members=["a", "b"])
+
+
+def test_delivery_records_carry_latency():
+    sim = Simulator()
+    net = Network(sim, LinkModel(latency=7.0))
+    members = build_group(sim, net, ["a", "b"], ordering="raw")
+    sim.call_at(10.0, members["a"].multicast, "x")
+    sim.run(until=100)
+    remote = [r for r in members["b"].delivered]
+    assert remote[0].latency == 7.0
+    local = [r for r in members["a"].delivered]
+    assert local[0].latency == 0.0
+
+
+def test_multicast_while_crashed_returns_none():
+    sim = Simulator()
+    net = Network(sim, LinkModel())
+    members = build_group(sim, net, ["a", "b"], ordering="raw")
+    members["a"].crash()
+    assert members["a"].multicast("x") is None
+
+
+def test_suppression_queues_and_resumes_in_order():
+    sim = Simulator()
+    net = Network(sim, LinkModel(latency=2.0))
+    members = build_group(sim, net, ["a", "b"], ordering="raw")
+    a = members["a"]
+    sim.call_at(5.0, a.suppress_sends)
+    for k in range(3):
+        sim.call_at(10.0 + k, a.multicast, f"q{k}")
+    sim.call_at(20.0, a.resume_sends)
+    sim.run(until=200)
+    assert members["b"].delivered_payloads() == ["q0", "q1", "q2"]
+    assert a.total_suppressed_time == 15.0
+
+
+def test_trace_records_send_and_deliver():
+    sim = Simulator()
+    net = Network(sim, LinkModel(latency=3.0))
+    trace = EventTrace()
+    members = build_group(sim, net, ["a", "b"], ordering="raw", trace=trace)
+    sim.call_at(0.0, members["a"].multicast, {"kind": "hello"})
+    sim.run(until=50)
+    kinds = {(e.pid, e.kind) for e in trace.entries}
+    assert ("a", "send") in kinds
+    assert ("b", "recv") in kinds and ("b", "deliver") in kinds
+
+
+def test_instrumentation_sees_sends_and_stability():
+    sim = Simulator()
+    net = Network(sim, LinkModel(latency=3.0))
+    instr = GroupInstrumentation()
+    members = build_group(sim, net, ["a", "b", "c"], ordering="causal",
+                          instrumentation=instr, ack_period=10.0)
+    for i in range(4):
+        sim.call_at(float(i * 5), members["a"].multicast, i)
+    sim.run(until=2000)
+    metrics = instr.metrics()
+    assert metrics["peak_nodes"] >= 1
+    assert metrics["nodes"] == 0  # everything stabilised by the end
+
+
+def test_sequencer_is_lowest_unsuspected_pid():
+    sim = Simulator()
+    net = Network(sim, LinkModel())
+    members = build_group(sim, net, ["a", "b", "c"], ordering="raw")
+    m = members["c"]
+    assert m.sequencer_pid() == "a"
+    m.suspect("a")
+    assert m.sequencer_pid() == "b"
+    m.unsuspect("a")
+    assert m.sequencer_pid() == "a"
+
+
+def test_delivered_payloads_in_order():
+    sim = Simulator()
+    net = Network(sim, LinkModel(latency=1.0))
+    members = build_group(sim, net, ["a", "b"], ordering="fifo")
+    for i in range(5):
+        sim.call_at(float(i), members["a"].multicast, i)
+    sim.run(until=100)
+    assert members["b"].delivered_payloads() == [0, 1, 2, 3, 4]

@@ -1,0 +1,89 @@
+"""Tests for view-synchronous membership: suspicion, flush, install."""
+
+from repro.catocs import build_group
+from repro.sim import FailureInjector, LinkModel, Network, Simulator
+
+
+def build(seed=0, n=4, drop=0.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=5.0, jitter=2.0, drop_prob=drop))
+    pids = [f"p{i}" for i in range(n)]
+    members = build_group(sim, net, pids, ordering="causal",
+                          with_membership=True,
+                          heartbeat_period=8.0, heartbeat_timeout=30.0)
+    return sim, net, members
+
+
+def test_crash_produces_agreed_new_view():
+    sim, net, members = build()
+    FailureInjector(sim, net).crash_at(50.0, "p3")
+    sim.run(until=1500)
+    survivors = [m for m in members.values() if m.alive]
+    assert all(m.view_id == 1 for m in survivors)
+    views = {tuple(sorted(m.view_members)) for m in survivors}
+    assert views == {("p0", "p1", "p2")}
+
+
+def test_view_change_records_metrics():
+    sim, net, members = build()
+    FailureInjector(sim, net).crash_at(50.0, "p2")
+    sim.run(until=1500)
+    survivors = [m for m in members.values() if m.alive]
+    histories = [m.membership.view_history for m in survivors]
+    assert all(len(h) == 1 for h in histories)
+    record = histories[0][-1]
+    assert record.view_id == 1
+    assert record.duration >= 0
+    assert sum(m.membership.view_change_messages for m in survivors) > 0
+
+
+def test_sends_during_flush_are_queued_then_flushed():
+    sim, net, members = build()
+    FailureInjector(sim, net).crash_at(50.0, "p3")
+    # Hammer multicasts across the whole run, including during the flush.
+    for k in range(60):
+        sim.call_at(10.0 + k * 3.0, members["p1"].multicast, f"m{k:02d}")
+    sim.run(until=3000)
+    survivors = [m for m in members.values() if m.alive]
+    expected = [f"m{k:02d}" for k in range(60)]
+    for m in survivors:
+        got = [p for p in m.delivered_payloads() if isinstance(p, str)]
+        assert got == expected, (m.pid, got[:5])
+    assert members["p1"].total_suppressed_time > 0
+
+
+def test_two_sequential_crashes_two_view_changes():
+    sim, net, members = build(n=5)
+    injector = FailureInjector(sim, net)
+    injector.crash_at(50.0, "p4")
+    injector.crash_at(600.0, "p3")
+    sim.run(until=3000)
+    survivors = [m for m in members.values() if m.alive]
+    assert all(m.view_id == 2 for m in survivors)
+    assert {tuple(sorted(m.view_members)) for m in survivors} == {("p0", "p1", "p2")}
+
+
+def test_coordinator_crash_is_survivable():
+    # p0 is the coordinator; when IT dies, the next-lowest pid takes over.
+    sim, net, members = build()
+    FailureInjector(sim, net).crash_at(50.0, "p0")
+    sim.run(until=2000)
+    survivors = [m for m in members.values() if m.alive]
+    assert all(m.view_id >= 1 for m in survivors)
+    assert {tuple(sorted(m.view_members)) for m in survivors} == {("p1", "p2", "p3")}
+
+
+def test_messages_lost_with_crashed_sender_are_forgiven():
+    # p3 multicasts but the copies are partitioned away from everyone;
+    # p3 then crashes.  A later message from p1 that causally follows
+    # p3's (p1 never saw it, so no real dependency) must still deliver.
+    sim, net, members = build()
+    net.partition({"p3"}, {"p0", "p1", "p2"})
+    sim.call_at(10.0, members["p3"].multicast, "doomed")
+    sim.call_at(20.0, lambda: members["p3"].crash())
+    sim.call_at(21.0, net.heal)
+    sim.call_at(400.0, members["p1"].multicast, "after")
+    sim.run(until=3000)
+    survivors = [m for m in members.values() if m.alive]
+    for m in survivors:
+        assert "after" in m.delivered_payloads(), m.pid

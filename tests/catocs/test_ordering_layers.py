@@ -1,0 +1,278 @@
+"""Direct unit tests of the ordering disciplines (no network).
+
+A stub member lets us feed messages in arbitrary orders and observe exactly
+what each layer releases.
+"""
+
+from typing import Any, List, Tuple
+
+import pytest
+
+from repro.catocs.messages import (
+    DataMessage,
+    OrderToken,
+    PriorityCommit,
+    PriorityProposal,
+)
+from repro.catocs.ordering_layers import (
+    CausalOrdering,
+    FifoOrdering,
+    RawOrdering,
+    TotalAgreedOrdering,
+    TotalSequencerOrdering,
+    make_ordering,
+)
+from repro.ordering import VectorClock
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+        self.scheduled = []
+
+    def call_later(self, delay, fn, *args):
+        self.scheduled.append((delay, fn, args))
+
+
+class FakeMember:
+    def __init__(self, pid="me", members=("me", "p1", "p2")):
+        self.pid = pid
+        self.group = "g"
+        self.view_members = tuple(members)
+        self.sim = FakeSim()
+        self.sent: List[Tuple[str, Any]] = []
+        self.broadcasts: List[Any] = []
+        self.delivered: List[Any] = []
+
+    def sequencer_pid(self):
+        return min(self.view_members)
+
+    def believes_alive(self, pid):
+        return True
+
+    def send_control(self, dst, payload):
+        self.sent.append((dst, payload))
+
+    def broadcast_control(self, payload):
+        self.broadcasts.append(payload)
+
+    def set_timer(self, delay, fn, *args):
+        self.sim.scheduled.append((delay, fn, args))
+
+    def _deliver(self, msg):
+        self.delivered.append(msg)
+
+
+def data(sender, seq, vc=None, payload=None):
+    return DataMessage(group="g", sender=sender, seq=seq,
+                       payload=payload or f"{sender}#{seq}",
+                       sent_at=0.0, vc=vc)
+
+
+def test_make_ordering_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_ordering("bogus", FakeMember())
+
+
+def test_raw_delivers_immediately_any_order():
+    layer = RawOrdering(FakeMember())
+    m2 = data("p1", 2)
+    m1 = data("p1", 1)
+    assert layer.insert(m2) == [m2]
+    assert layer.insert(m1) == [m1]
+    assert layer.pending() == 0
+
+
+def test_fifo_holds_gap_then_releases_in_order():
+    layer = FifoOrdering(FakeMember())
+    m1, m2, m3 = data("p1", 1), data("p1", 2), data("p1", 3)
+    assert layer.insert(m3) == []
+    assert layer.insert(m2) == []
+    assert layer.pending() == 2
+    assert layer.insert(m1) == [m1, m2, m3]
+    assert layer.pending() == 0
+
+
+def test_fifo_senders_independent():
+    layer = FifoOrdering(FakeMember())
+    a2 = data("p1", 2)
+    b1 = data("p2", 1)
+    assert layer.insert(a2) == []
+    assert layer.insert(b1) == [b1]
+
+
+def test_fifo_local_messages_always_deliverable():
+    layer = FifoOrdering(FakeMember())
+    mine = data("me", 1)
+    assert layer.accept_local(mine) == [mine]
+
+
+def test_causal_stamp_counts_own_multicasts():
+    member = FakeMember()
+    layer = CausalOrdering(member)
+    m1 = data("me", 1)
+    layer.stamp(m1)
+    layer.accept_local(m1)
+    m2 = data("me", 2)
+    layer.stamp(m2)
+    assert m1.vc.as_dict() == {"me": 1}
+    assert m2.vc.as_dict() == {"me": 2}
+
+
+def test_causal_delivery_condition_waits_for_dependency():
+    layer = CausalOrdering(FakeMember())
+    # p2's message depends on p1's first (p2 delivered it before sending)
+    dependent = data("p2", 1, vc=VectorClock({"p1": 1, "p2": 1}))
+    first = data("p1", 1, vc=VectorClock({"p1": 1}))
+    layer.insert(dependent)
+    assert layer.drain() == []
+    assert layer.pending() == 1
+    layer.insert(first)
+    assert layer.drain() == [first, dependent]
+    assert layer.pending() == 0
+
+
+def test_causal_same_sender_fifo():
+    layer = CausalOrdering(FakeMember())
+    m1 = data("p1", 1, vc=VectorClock({"p1": 1}))
+    m2 = data("p1", 2, vc=VectorClock({"p1": 2}))
+    layer.insert(m2)
+    assert layer.drain() == []
+    layer.insert(m1)
+    assert layer.drain() == [m1, m2]
+
+
+def test_causal_concurrent_messages_deliver_on_arrival():
+    layer = CausalOrdering(FakeMember())
+    x = data("p1", 1, vc=VectorClock({"p1": 1}))
+    y = data("p2", 1, vc=VectorClock({"p2": 1}))
+    layer.insert(y)
+    assert layer.release_next() == y
+    layer.insert(x)
+    assert layer.release_next() == x
+    assert layer.release_next() is None
+
+
+def test_causal_hold_log_tracks_delay():
+    member = FakeMember()
+    layer = CausalOrdering(member)
+    dependent = data("p2", 1, vc=VectorClock({"p1": 1, "p2": 1}))
+    layer.insert(dependent)
+    layer.drain()
+    member.sim.now = 42.0
+    first = data("p1", 1, vc=VectorClock({"p1": 1}))
+    layer.insert(first)
+    layer.drain()
+    held = dict(layer.hold_log)
+    assert held[("p2", 1)] == 42.0
+
+
+def test_causal_forgive_unblocks_lost_dependency():
+    layer = CausalOrdering(FakeMember())
+    # depends on p1's msg 2, but p1 crashed and nobody has anything from p1
+    orphan = data("p2", 1, vc=VectorClock({"p1": 2, "p2": 1}))
+    layer.insert(orphan)
+    assert layer.drain() == []
+    layer.forgive({"p1": 0})
+    assert layer.drain() == [orphan]
+
+
+def test_causal_forgive_does_not_skip_recoverable_dependency():
+    layer = CausalOrdering(FakeMember())
+    orphan = data("p2", 1, vc=VectorClock({"p1": 1, "p2": 1}))
+    layer.insert(orphan)
+    # someone still holds p1's message 1: keep waiting for the repair
+    layer.forgive({"p1": 1})
+    assert layer.drain() == []
+    first = data("p1", 1, vc=VectorClock({"p1": 1}))
+    layer.insert(first)
+    assert layer.drain() == [first, orphan]
+
+
+def test_sequencer_assigns_and_gates_delivery():
+    member = FakeMember(pid="a", members=("a", "b", "c"))  # "a" is sequencer
+    layer = TotalSequencerOrdering(member)
+    m = data("a", 1)
+    layer.stamp(m)
+    assert layer.accept_local(m) == []
+    # the member pump then releases it immediately (self-assigned index 0)
+    assert layer.release_next() == m
+    assert layer.release_next() is None
+    assert member.broadcasts and isinstance(member.broadcasts[0], OrderToken)
+
+
+def test_non_sequencer_waits_for_token():
+    member = FakeMember(pid="b", members=("a", "b", "c"))
+    layer = TotalSequencerOrdering(member)
+    m = data("b", 1)
+    layer.stamp(m)
+    assert layer.accept_local(m) == []  # own message gated by global order
+    assert layer.release_next() is None
+    token = OrderToken(group="g", sequencer="a", assignments=[(0, ("b", 1))])
+    layer.on_control("a", token)
+    assert layer.release_next() == m
+
+
+def test_token_before_data_waits_for_data():
+    member = FakeMember(pid="b", members=("a", "b", "c"))
+    layer = TotalSequencerOrdering(member)
+    token = OrderToken(group="g", sequencer="a", assignments=[(0, ("c", 1))])
+    layer.on_control("a", token)
+    assert layer.release_next() is None
+    m = data("c", 1, vc=VectorClock({"c": 1}))
+    layer.insert(m)
+    assert layer.release_next() == m
+
+
+def test_sequencer_serves_token_repair_requests():
+    member = FakeMember(pid="a", members=("a", "b"))
+    layer = TotalSequencerOrdering(member)
+    m = data("a", 1)
+    layer.stamp(m)
+    layer.accept_local(m)
+    from repro.catocs.messages import OrderTokenRequest
+
+    layer.on_control("b", OrderTokenRequest(group="g", requester="b", from_index=0))
+    resent = [p for (dst, p) in member.sent if isinstance(p, OrderToken)]
+    assert resent and resent[0].assignments == [(0, ("a", 1))]
+
+
+def test_agreed_order_basic_two_member_flow():
+    # sender side
+    sender = FakeMember(pid="a", members=("a", "b"))
+    layer_a = TotalAgreedOrdering(sender)
+    m = data("a", 1)
+    layer_a.stamp(m)
+    assert layer_a.accept_local(m) == []  # waits for b's proposal
+    # receiver side proposes
+    receiver = FakeMember(pid="b", members=("a", "b"))
+    layer_b = TotalAgreedOrdering(receiver)
+    assert layer_b.insert(m) == []
+    proposals = [p for (dst, p) in receiver.sent if isinstance(p, PriorityProposal)]
+    assert proposals and proposals[0].msg_id == ("a", 1)
+    # sender collects the proposal -> commits -> delivers
+    out = layer_a.on_control("b", proposals[0])
+    assert out == [m]
+    commits = [p for p in sender.broadcasts if isinstance(p, PriorityCommit)]
+    assert commits
+    # receiver applies the commit -> delivers in the same position
+    assert layer_b.on_control("a", commits[0]) == [m]
+
+
+def test_agreed_order_uncommitted_head_blocks():
+    member = FakeMember(pid="c", members=("a", "b", "c"))
+    layer = TotalAgreedOrdering(member)
+    m1 = data("a", 1)
+    m2 = data("b", 1)
+    layer.insert(m1)
+    layer.insert(m2)
+    # commit only the second-arrived message with a HIGH priority: the
+    # first (tentative, lower priority) still blocks the queue head.
+    first = layer.on_control("b", PriorityCommit(group="g", sender="b",
+                                                 msg_id=("b", 1), priority=10,
+                                                 tiebreak="c"))
+    assert first == []
+    out = layer.on_control("a", PriorityCommit(group="g", sender="a",
+                                               msg_id=("a", 1), priority=11,
+                                               tiebreak="c"))
+    assert [o.msg_id for o in out] == [("b", 1), ("a", 1)]

@@ -1,0 +1,26 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import LinkModel, Network, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def net(sim: Simulator) -> Network:
+    """A fast, reliable network (tests opt into loss explicitly)."""
+    return Network(sim, LinkModel(latency=5.0))
+
+
+def make_world(seed: int = 0, latency: float = 5.0, jitter: float = 0.0,
+               drop_prob: float = 0.0):
+    """Convenience constructor used by non-fixture test code."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=latency, jitter=jitter, drop_prob=drop_prob))
+    return sim, net

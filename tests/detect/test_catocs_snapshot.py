@@ -1,0 +1,108 @@
+"""Tests for the CATOCS-based snapshot — and its hidden-channel blind spot."""
+
+from typing import Dict
+
+from repro.detect import CatocsSnapshotMember
+from repro.sim import LinkModel, Network, Simulator
+
+
+class Counters:
+    """App state: every member records which app multicasts it has applied
+    (as per-sender applied counts — the natural 'cut' description)."""
+
+    def __init__(self, sim, net, pids, ordering="causal"):
+        self.applied: Dict[str, Dict[str, int]] = {
+            pid: {p: 0 for p in pids} for pid in pids
+        }
+        self.members: Dict[str, CatocsSnapshotMember] = {}
+        for pid in pids:
+            self.members[pid] = CatocsSnapshotMember(
+                sim, net, pid, group="snap", members=pids,
+                state_fn=(lambda p=pid: dict(self.applied[p])),
+                on_app=(lambda src, body, p=pid: self._apply(p, src)),
+                ordering=ordering,
+            )
+
+    def _apply(self, pid, src):
+        self.applied[pid][src] += 1
+
+
+def test_causal_cut_is_consistent_wrt_happens_before():
+    """Under causal delivery the cut may place *concurrent* messages on
+    either side at different members, but it can never invert causality:
+    every message causally prior to the marker is inside every member's
+    cut, and everything the marker precedes is outside."""
+    sim = Simulator(seed=5)
+    net = Network(sim, LinkModel(latency=5.0, jitter=8.0))
+    pids = ["a", "b", "c"]
+    world = Counters(sim, net, pids)
+    for k in range(30):
+        sender = pids[k % 3]
+        sim.call_at(1.0 + k * 7.0, world.members[sender].app_multicast, k)
+    # 'a' initiates mid-stream, having itself multicast some messages first.
+    a_sent_before_marker = len([k for k in range(30) if k % 3 == 0
+                                and 1.0 + k * 7.0 < 100.0])
+    sim.call_at(100.0, world.members["a"].initiate_snapshot, 1)
+    sim.run(until=3000)
+    snaps = {pid: m.member_snapshots for pid, m in world.members.items()}
+    assert all(len(s) == 1 for s in snaps.values())
+    for pid, snap_list in snaps.items():
+        cut = snap_list[0].state
+        # Everything 'a' multicast before the marker happens-before it
+        # (same-sender order), so it is inside every member's cut; nothing
+        # 'a' sent after the marker can be inside.
+        assert cut["a"] == a_sent_before_marker, (pid, cut)
+
+
+def test_total_order_cut_is_identical_everywhere():
+    sim = Simulator(seed=5)
+    net = Network(sim, LinkModel(latency=5.0, jitter=8.0))
+    pids = ["a", "b", "c"]
+    world = Counters(sim, net, pids, ordering="total-seq")
+    for k in range(30):
+        sender = pids[k % 3]
+        sim.call_at(1.0 + k * 7.0, world.members[sender].app_multicast, k)
+    sim.call_at(100.0, world.members["b"].initiate_snapshot, 1)
+    sim.run(until=3000)
+    cuts = [m.member_snapshots[0].state for m in world.members.values()]
+    assert all(cut == cuts[0] for cut in cuts), cuts
+
+
+def test_every_member_records_every_snapshot():
+    sim = Simulator(seed=1)
+    net = Network(sim, LinkModel(latency=4.0))
+    pids = ["a", "b", "c", "d"]
+    world = Counters(sim, net, pids)
+    for sid, at in enumerate([50.0, 150.0], start=1):
+        sim.call_at(at, world.members["b"].initiate_snapshot, sid)
+    sim.run(until=2000)
+    for member in world.members.values():
+        assert [s.snapshot_id for s in member.member_snapshots] == [1, 2]
+
+
+def test_hidden_channel_breaks_the_cut():
+    """Limitation 1 applied to snapshots: state changed through a side
+    channel (not via the group) makes the CATOCS cut inconsistent."""
+    sim = Simulator(seed=2)
+    net = Network(sim, LinkModel(latency=5.0))
+    pids = ["a", "b"]
+    money = {"a": 10, "b": 0}
+    members = {
+        pid: CatocsSnapshotMember(
+            sim, net, pid, group="snap", members=pids,
+            state_fn=(lambda p=pid: money[p]),
+        )
+        for pid in pids
+    }
+    sim.call_at(10.0, members["a"].initiate_snapshot, 1)
+
+    def hidden_transfer():
+        money["a"] -= 10
+        money["b"] += 10
+
+    # 'a' records at ~10 (balance 10); the transfer happens out-of-band
+    # while the marker is in flight; 'b' then records balance 10 as well.
+    sim.call_at(12.0, hidden_transfer)
+    sim.run(until=1000)
+    recorded = {pid: m.member_snapshots[0].state for pid, m in members.items()}
+    assert recorded["a"] + recorded["b"] == 20  # true total is 10: double-counted

@@ -1,0 +1,150 @@
+"""Tests for k-of-n (quorum) deadlock detection by reduction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect.kofn import KofNMonitor, KofNReport, KofNState
+
+
+def test_no_waits_no_deadlock():
+    state = KofNState()
+    state.hold("r1", "t1")
+    assert state.deadlocked() == set()
+
+
+def test_simple_quorum_deadlock():
+    # 3 replicas, majority k=2; t1 holds r1, t2 holds r2, both want 2 of 3:
+    # r3 is free, so each can still reach quorum -> NOT deadlocked...
+    state = KofNState()
+    state.hold("r1", "t1")
+    state.hold("r2", "t2")
+    state.wait("t1", ["r1", "r2", "r3"], 2)
+    state.wait("t2", ["r1", "r2", "r3"], 2)
+    assert state.deadlocked() == set()  # the free r3 resolves it
+    # ...but with r3 also gone (held by a third waiter needing both others):
+    state.hold("r3", "t3")
+    state.wait("t3", ["r1", "r2"], 2)
+    assert state.deadlocked() == {"t1", "t2", "t3"}
+
+
+def test_two_txn_total_quorum_deadlock():
+    # 4 replicas, k=3: t1 holds r1,r2; t2 holds r3,r4; both need 3 of 4.
+    state = KofNState()
+    for r, t in [("r1", "t1"), ("r2", "t1"), ("r3", "t2"), ("r4", "t2")]:
+        state.hold(r, t)
+    state.wait("t1", ["r1", "r2", "r3", "r4"], 3)
+    state.wait("t2", ["r1", "r2", "r3", "r4"], 3)
+    assert state.deadlocked() == {"t1", "t2"}
+
+
+def test_reduction_discharges_chains():
+    # t1 waits on r2 (held by t2); t2 is not waiting -> will finish -> both fine
+    state = KofNState()
+    state.hold("r2", "t2")
+    state.wait("t1", ["r2"], 1)
+    assert state.deadlocked() == set()
+
+
+def test_and_model_is_k_equals_n():
+    # classic AND-deadlock as the k=n special case
+    state = KofNState()
+    state.hold("a", "t1")
+    state.hold("b", "t2")
+    state.wait("t1", ["b"], 1)
+    state.wait("t2", ["a"], 1)
+    assert state.deadlocked() == {"t1", "t2"}
+
+
+def test_or_model_is_k_equals_1():
+    # OR-model: t1 needs ANY of a, b; b is free -> no deadlock
+    state = KofNState()
+    state.hold("a", "t2")
+    state.wait("t2", ["a"], 1)  # nonsense self-ish wait; a held by itself
+    state.wait("t1", ["a", "b"], 1)
+    assert "t1" not in state.deadlocked()
+
+
+def test_partial_deadlock_only_involved_txns_reported():
+    state = KofNState()
+    state.hold("a", "t1")
+    state.hold("b", "t2")
+    state.wait("t1", ["b"], 1)
+    state.wait("t2", ["a"], 1)
+    state.hold("x", "t3")
+    state.wait("t4", ["x"], 1)  # waits on t3 which will finish
+    assert state.deadlocked() == {"t1", "t2"}
+
+
+def test_monitor_merges_reports_and_ignores_stale():
+    hits = []
+    monitor = KofNMonitor(on_deadlock=hits.append)
+    monitor.offer(KofNReport("m1", 1, {"r1": "t1", "r2": "t1"},
+                             [("t1", ("r1", "r2", "r3", "r4"), 3)]))
+    assert monitor.deadlocks == []
+    monitor.offer(KofNReport("m2", 1, {"r3": "t2", "r4": "t2"},
+                             [("t2", ("r1", "r2", "r3", "r4"), 3)]))
+    assert hits and hits[0] == {"t1", "t2"}
+    # a stale (reordered) report must not roll the picture back
+    monitor.offer(KofNReport("m2", 1, {}, []))
+    assert monitor._per_reporter["m2"].holders  # unchanged
+
+
+def test_monitor_report_order_irrelevant():
+    reports = [
+        KofNReport("m1", 1, {"r1": "t1", "r2": "t1"},
+                   [("t1", ("r1", "r2", "r3", "r4"), 3)]),
+        KofNReport("m2", 1, {"r3": "t2", "r4": "t2"},
+                   [("t2", ("r1", "r2", "r3", "r4"), 3)]),
+    ]
+    for ordering in (reports, list(reversed(reports))):
+        monitor = KofNMonitor()
+        for report in ordering:
+            monitor.offer(report)
+        assert monitor.deadlocks and monitor.deadlocks[-1] == {"t1", "t2"}
+
+
+@given(
+    holds=st.dictionaries(st.sampled_from([f"r{i}" for i in range(6)]),
+                          st.sampled_from(["t1", "t2", "t3"]), max_size=6),
+    waits=st.lists(
+        st.tuples(st.sampled_from(["t1", "t2", "t3"]),
+                  st.sets(st.sampled_from([f"r{i}" for i in range(6)]),
+                          min_size=1, max_size=4),
+                  st.integers(1, 4)),
+        max_size=3, unique_by=lambda w: w[0]),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_deadlocked_txns_truly_cannot_be_scheduled(holds, waits):
+    """Soundness: a reported-deadlocked txn has no sequential schedule of the
+    *non-deadlocked* txns that frees k of its wanted resources."""
+    state = KofNState()
+    for resource, txn in holds.items():
+        state.hold(resource, txn)
+    for txn, wanted, k in waits:
+        state.wait(txn, list(wanted), min(k, len(wanted)))
+    stuck = state.deadlocked()
+    # replay the reduction by brute force over the complement
+    held_by = {}
+    for resource, txn in holds.items():
+        held_by.setdefault(txn, set()).add(resource)
+    available = {r for r in set(holds) | {r for _, w, _ in waits for r in w}
+                 if r not in holds}
+    for txn in held_by:
+        if txn not in state.waits:
+            available |= held_by[txn]
+    changed = True
+    discharged = set()
+    while changed:
+        changed = False
+        for txn, wait in state.waits.items():
+            if txn in discharged or txn in stuck:
+                continue
+            reachable = wait.wanted & (available | held_by.get(txn, set()))
+            if len(reachable) >= wait.k:
+                discharged.add(txn)
+                available |= held_by.get(txn, set())
+                changed = True
+    for txn in stuck:
+        wait = state.waits[txn]
+        reachable = wait.wanted & (available | held_by.get(txn, set()))
+        assert len(reachable) < wait.k

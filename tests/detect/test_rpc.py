@@ -1,0 +1,124 @@
+"""Tests for the RPC substrate."""
+
+from repro.detect import Call, Reply, RpcProcess, Work
+from repro.sim import LinkModel, Network, Simulator
+
+
+def build(seed=0, latency=4.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=latency))
+    return sim, net
+
+
+def test_simple_call_reply():
+    sim, net = build()
+    server = RpcProcess(sim, net, "srv")
+    server.register("double", lambda proc, arg: Reply(arg * 2))
+    client = RpcProcess(sim, net, "cli")
+    replies = []
+    sim.call_at(1.0, client.call, "srv", "double", replies.append, 21)
+    sim.run(until=100)
+    assert replies == [42]
+    assert server.replies_sent == 1
+
+
+def test_unknown_method_error_reply():
+    sim, net = build()
+    RpcProcess(sim, net, "srv")
+    client = RpcProcess(sim, net, "cli")
+    replies = []
+    sim.call_at(1.0, client.call, "srv", "nope", replies.append)
+    sim.run(until=100)
+    assert replies == [("error", "no handler")]
+
+
+def test_nested_call_chain():
+    sim, net = build()
+    a = RpcProcess(sim, net, "a")
+    b = RpcProcess(sim, net, "b")
+    b.register("inner", lambda proc, arg: Reply(arg + 1))
+    a.register("outer", lambda proc, arg: Call(
+        dst="b", method="inner", arg=arg * 10,
+        then=lambda p, v: Reply(v)))
+    client = RpcProcess(sim, net, "cli")
+    replies = []
+    sim.call_at(1.0, client.call, "a", "outer", replies.append, 3)
+    sim.run(until=200)
+    assert replies == [31]
+
+
+def test_single_thread_queues_second_request():
+    sim, net = build()
+    server = RpcProcess(sim, net, "srv", threads=1)
+    server.register("slow", lambda proc, arg: Work(
+        duration=50.0, then=lambda p: Reply("done")))
+    client = RpcProcess(sim, net, "cli", threads=4)
+    replies = []
+    sim.call_at(1.0, client.call, "srv", "slow", replies.append)
+    sim.call_at(2.0, client.call, "srv", "slow", replies.append)
+    sim.run(until=20)
+    assert len(server.queued) == 1  # second waits for the thread
+    sim.run(until=300)
+    assert replies == ["done", "done"]
+
+
+def test_two_threads_serve_concurrently():
+    sim, net = build()
+    server = RpcProcess(sim, net, "srv", threads=2)
+    server.register("slow", lambda proc, arg: Work(
+        duration=50.0, then=lambda p: Reply(proc.sim.now)))
+    client = RpcProcess(sim, net, "cli", threads=4)
+    replies = []
+    sim.call_at(1.0, client.call, "srv", "slow", replies.append)
+    sim.call_at(1.0, client.call, "srv", "slow", replies.append)
+    sim.run(until=300)
+    assert len(replies) == 2
+    assert abs(replies[0] - replies[1]) < 1.0  # served in parallel
+
+
+def test_wait_edges_expose_blocked_instance_and_queued_calls():
+    sim, net = build()
+    a = RpcProcess(sim, net, "a", threads=1)
+    b = RpcProcess(sim, net, "b", threads=1)
+    # a's handler blocks on b; b's handler never replies (sink into Work).
+    b.register("sink", lambda proc, arg: Work(10_000.0, then=lambda p: Reply(None)))
+    a.register("go", lambda proc, arg: Call("b", "sink", then=lambda p, v: Reply(v)))
+    client = RpcProcess(sim, net, "cli", threads=4)
+    sim.call_at(1.0, client.call, "a", "go")
+    sim.call_at(2.0, client.call, "b", "sink")  # queues behind a's nested call
+    sim.run(until=100)
+    a_edges = a.wait_edges()
+    # a's instance waits on its nested call id
+    assert any(w.startswith("cli#") and h.startswith("a#") for w, h in a_edges)
+    b_edges = b.wait_edges()
+    # the queued request at b waits on b's active instance
+    assert any(not w.startswith("root") for w, h in b_edges if h.startswith("a#")
+               or h.startswith("cli#"))
+    assert b.queued  # confirmed queue formed
+
+
+def test_outstanding_to_names_target_process():
+    sim, net = build()
+    a = RpcProcess(sim, net, "a", threads=1)
+    b = RpcProcess(sim, net, "b", threads=1)
+    b.register("sink", lambda proc, arg: Work(10_000.0, then=lambda p: Reply(None)))
+    a.register("go", lambda proc, arg: Call("b", "sink", then=lambda p, v: Reply(v)))
+    client = RpcProcess(sim, net, "cli", threads=2)
+    sim.call_at(1.0, client.call, "a", "go")
+    sim.run(until=100)
+    assert a.outstanding_to() == ["b"]
+
+
+def test_event_hooks_fire_invoke_and_return():
+    sim, net = build()
+    server = RpcProcess(sim, net, "srv")
+    server.register("ping", lambda proc, arg: Reply("pong"))
+    client = RpcProcess(sim, net, "cli")
+    events = []
+    client.event_hooks.append(lambda kind, fields: events.append((("cli", kind))))
+    server.event_hooks.append(lambda kind, fields: events.append((("srv", kind))))
+    sim.call_at(1.0, client.call, "srv", "ping")
+    sim.run(until=100)
+    assert ("cli", "invoke") in events
+    assert ("srv", "return") in events
+    assert ("cli", "return") in events  # root completion

@@ -1,0 +1,68 @@
+"""Tests for token-loss detection and regeneration."""
+
+from repro.detect.token import Token, build_token_ring
+from repro.sim import LinkModel, Network, Simulator
+
+
+def test_healthy_ring_circulates_without_false_loss():
+    sim = Simulator(seed=0)
+    net = Network(sim, LinkModel(latency=4.0, jitter=2.0))
+    members, monitor, reporters = build_token_ring(sim, net, size=4)
+    sim.call_at(1.0, members["ring0"].inject, Token(generation=1, hops=0))
+    sim.run(until=2000)
+    assert monitor.losses_detected == []
+    total_entries = sum(m.entries for m in members.values())
+    assert total_entries > 50  # the token kept moving
+
+
+def test_lost_token_detected_and_regenerated():
+    sim = Simulator(seed=1)
+    net = Network(sim, LinkModel(latency=4.0, jitter=2.0))
+    members, monitor, reporters = build_token_ring(sim, net, size=4)
+    sim.call_at(1.0, members["ring0"].inject, Token(generation=1, hops=0))
+    # Kill exactly one hop: the link ring1 -> ring2 eats the next token.
+    sim.call_at(100.0, net.set_link, "ring1", "ring2",
+                LinkModel(latency=4.0, drop_prob=1.0))
+    sim.call_at(130.0, net.set_link, "ring1", "ring2", LinkModel(latency=4.0))
+    sim.run(until=3000)
+    assert len(monitor.losses_detected) >= 1
+    # circulation resumed with the regenerated token
+    entries_at_detection = None
+    final_entries = sum(m.entries for m in members.values())
+    assert final_entries > 60
+    assert any(m.holding is not None for m in members.values()) or final_entries > 60
+
+
+def test_loss_detection_latency_bounded_by_report_rounds():
+    sim = Simulator(seed=2)
+    net = Network(sim, LinkModel(latency=4.0))
+    members, monitor, reporters = build_token_ring(sim, net, size=3,
+                                                   report_period=15.0)
+    sim.call_at(1.0, members["ring0"].inject, Token(generation=1, hops=0))
+    # Window sized to catch one full ring0 forward (cycle ~42, forwards at
+    # ~14, ~56, ~98 with latency 4 and hold 10).
+    sim.call_at(50.0, net.set_link, "ring0", "ring1",
+                LinkModel(latency=4.0, drop_prob=1.0))
+    sim.call_at(100.0, net.set_link, "ring0", "ring1", LinkModel(latency=4.0))
+    sim.run(until=2000)
+    assert monitor.losses_detected
+    loss_happened_by = 100.0  # the drop window closed here
+    detection_at = monitor.losses_detected[0]
+    assert detection_at - loss_happened_by < 15.0 * 6
+
+
+def test_no_regeneration_when_disabled():
+    sim = Simulator(seed=3)
+    net = Network(sim, LinkModel(latency=4.0))
+    members, monitor, reporters = build_token_ring(sim, net, size=3,
+                                                   regenerate=False)
+    sim.call_at(1.0, members["ring0"].inject, Token(generation=1, hops=0))
+    sim.call_at(50.0, net.set_link, "ring0", "ring1",
+                LinkModel(latency=4.0, drop_prob=1.0))
+    sim.run(until=2000)
+    assert monitor.losses_detected
+    # with no regenerator the ring stays dead
+    assert all(m.holding is None for m in members.values())
+    entries_frozen = sum(m.entries for m in members.values())
+    sim.run(until=3000)
+    assert sum(m.entries for m in members.values()) == entries_frozen

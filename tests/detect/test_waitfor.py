@@ -1,0 +1,89 @@
+"""Tests for wait-for graphs and the order-insensitive deadlock detector."""
+
+from repro.detect import DeadlockMonitor, WaitForGraph, WaitForReport, WaitForReporter
+from repro.sim import LinkModel, Network, Simulator
+
+
+def test_cycle_detection_simple():
+    g = WaitForGraph()
+    g.add_edge("a", "b")
+    assert g.find_cycle() is None
+    g.add_edge("b", "a")
+    cycle = g.find_cycle()
+    assert cycle is not None and set(cycle) == {"a", "b"}
+
+
+def test_cycle_detection_longer_and_branches():
+    g = WaitForGraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "d")
+    g.add_edge("x", "b")
+    assert g.find_cycle() is None
+    g.add_edge("d", "a")
+    assert set(g.find_cycle()) == {"a", "b", "c", "d"}
+
+
+def test_remove_edge_and_node():
+    g = WaitForGraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "a")
+    g.remove_edge("b", "a")
+    assert g.find_cycle() is None
+    g.add_edge("b", "a")
+    g.remove_node("a")
+    assert g.find_cycle() is None
+    assert g.edges() == []
+
+
+def test_replace_edges_from_source():
+    g = WaitForGraph()
+    ownership = {}
+    g.replace_edges_from("s1", [("a", "b")], ownership)
+    g.replace_edges_from("s2", [("b", "c")], ownership)
+    g.replace_edges_from("s1", [("a", "c")], ownership)  # replaces (a,b)
+    assert set(g.edges()) == {("a", "c"), ("b", "c")}
+
+
+def test_self_loop_is_a_cycle():
+    g = WaitForGraph()
+    g.add_edge("t", "t")
+    assert g.find_cycle() == ["t"] or set(g.find_cycle()) == {"t"}
+
+
+def test_monitor_integrates_reports_and_detects():
+    sim = Simulator(seed=0)
+    net = Network(sim, LinkModel(latency=3.0))
+    edges_a = [("t1", "t2")]
+    edges_b = [("t2", "t1")]
+    found = []
+    monitor = DeadlockMonitor(sim, net, "mon", on_deadlock=found.append)
+    WaitForReporter(sim, net, "ra", lambda: edges_a, ["mon"], period=10.0)
+    WaitForReporter(sim, net, "rb", lambda: edges_b, ["mon"], period=10.0)
+    sim.run(until=100)
+    assert found and set(found[0]) == {"t1", "t2"}
+    assert monitor.reports_received >= 2
+
+
+def test_monitor_ignores_stale_reordered_reports():
+    sim = Simulator(seed=0)
+    net = Network(sim, LinkModel(latency=1.0))
+    monitor = DeadlockMonitor(sim, net, "mon")
+    monitor.on_message("r", WaitForReport(reporter="r", seq=2, edges=[("a", "b")]))
+    monitor.on_message("r", WaitForReport(reporter="r", seq=1, edges=[("b", "a")]))
+    # the stale seq=1 report must not have been applied
+    assert set(monitor.graph.edges()) == {("a", "b")}
+    assert monitor.reports_received == 1
+
+
+def test_edge_clear_resolves_deadlock_report():
+    sim = Simulator(seed=0)
+    net = Network(sim, LinkModel(latency=1.0))
+    state = {"edges": [("t1", "t2"), ("t2", "t1")]}
+    found = []
+    monitor = DeadlockMonitor(sim, net, "mon", on_deadlock=found.append)
+    WaitForReporter(sim, net, "r", lambda: state["edges"], ["mon"], period=10.0)
+    sim.call_at(25.0, state.__setitem__, "edges", [])
+    sim.run(until=100)
+    assert found  # detected while present
+    assert monitor.graph.find_cycle() is None  # cleared after resolution

@@ -1,0 +1,93 @@
+"""Integration smoke of the lighter experiments (the benchmark suite runs
+all fourteen at full scale; these keep the unit-test loop quick and assert
+the headline shape checks hold at reduced parameters too)."""
+
+from repro.experiments.e01_event_diagram import run_e01
+from repro.experiments.e02_hidden_channel import run_e02
+from repro.experiments.e03_external_channel import run_e03
+from repro.experiments.e04_trading import run_e04
+from repro.experiments.e05_scaling import run_e05
+from repro.experiments.e06_false_causality import run_e06
+from repro.experiments.e10_realtime import run_e10
+from repro.experiments.e11_drilling import run_e11
+from repro.experiments.e14_netnews import run_e14
+from repro.experiments.e15_piggyback import run_e15
+from repro.experiments.e16_stability import run_e16
+from repro.experiments.e17_partitioning import run_e17
+from repro.experiments.e18_netnews_causal import run_e18
+from repro.experiments.run_all import registry
+
+
+def _assert_passed(result):
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{result.experiment_id}: {failed}"
+
+
+def test_e01():
+    _assert_passed(run_e01())
+
+
+def test_e02():
+    _assert_passed(run_e02())
+
+
+def test_e03():
+    _assert_passed(run_e03())
+
+
+def test_e04_reduced():
+    _assert_passed(run_e04(ticks=6))
+
+
+def test_e05_reduced():
+    result = run_e05(sizes=(3, 6, 10), msgs_per_member=8)
+    _assert_passed(result)
+
+
+def test_e06_reduced():
+    result = run_e06(size=5, msgs_per_member=15, drop_probs=(0.0, 0.05, 0.15))
+    _assert_passed(result)
+
+
+def test_e10():
+    _assert_passed(run_e10())
+
+
+def test_e11_reduced():
+    _assert_passed(run_e11(sizes=(2, 4, 6)))
+
+
+def test_e14_reduced():
+    _assert_passed(run_e14(inquiry_counts=(4, 8, 16)))
+
+
+def test_e15_reduced():
+    _assert_passed(run_e15(size=5, msgs_per_member=15, drop_probs=(0.0, 0.1)))
+
+
+def test_e16_reduced():
+    _assert_passed(run_e16(size=5, burst=10, ack_periods=(15.0, 120.0, 700.0)))
+
+
+def test_e17():
+    _assert_passed(run_e17(size=8))
+
+
+def test_e18():
+    _assert_passed(run_e18(posts_after=15))
+
+
+def test_e19():
+    from repro.experiments.e19_nameservice import run_e19
+    _assert_passed(run_e19(servers=6, names=20))
+
+
+def test_registry_covers_all_experiments():
+    names = list(registry())
+    assert names == [f"E{i:02d}" for i in range(1, 20)]
+
+
+def test_results_render_without_error():
+    result = run_e01()
+    text = result.render()
+    assert "E01" in text and "Figure 1" in text

@@ -1,0 +1,46 @@
+"""The CLI runner and every example script execute cleanly."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.run_all import main
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_cli_list():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["--list"])
+    assert code == 0
+    names = buffer.getvalue().split()
+    assert names[0] == "E01" and names[-1] == "E19"
+
+
+def test_cli_runs_a_subset_and_passes():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["E01"])
+    assert code == 0
+    assert "ALL PASSED" in buffer.getvalue()
+
+
+def test_cli_rejects_unknown():
+    assert main(["E99"]) == 2
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(script), run_name="__main__")
+    out = buffer.getvalue()
+    assert out.strip(), script
+    assert "Traceback" not in out

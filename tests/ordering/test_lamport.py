@@ -1,0 +1,41 @@
+"""Unit tests for Lamport clocks."""
+
+from repro.ordering import LamportClock
+
+
+def test_tick_monotonic():
+    clock = LamportClock("p")
+    assert clock.tick() == 1
+    assert clock.tick() == 2
+    assert clock.peek() == 2
+
+
+def test_observe_jumps_past_received_time():
+    clock = LamportClock("p")
+    clock.tick()
+    assert clock.observe(10) == 11
+    assert clock.observe(3) == 12  # max(12-1, 3)+1: never goes backwards
+
+
+def test_stamp_totally_orderable_with_pid_tiebreak():
+    a = LamportClock("a")
+    b = LamportClock("b")
+    sa = a.stamp()
+    sb = b.stamp()
+    assert sa != sb
+    assert sorted([sa, sb]) == [(1, "a"), (1, "b")]
+
+
+def test_message_exchange_preserves_happens_before():
+    sender = LamportClock("s")
+    receiver = LamportClock("r")
+    for _ in range(5):
+        receiver.tick()
+    send_time = sender.tick()
+    recv_time = receiver.observe(send_time)
+    assert recv_time > send_time
+
+
+def test_start_value():
+    clock = LamportClock("p", start=100)
+    assert clock.tick() == 101

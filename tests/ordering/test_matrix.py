@@ -1,0 +1,45 @@
+"""Unit tests for matrix clocks (stability tracking)."""
+
+from repro.ordering import MatrixClock, VectorClock
+
+
+def test_min_vector_over_rows():
+    m = MatrixClock(["a", "b"])
+    m.update_row("a", VectorClock({"a": 5, "b": 2}))
+    m.update_row("b", VectorClock({"a": 3, "b": 4}))
+    assert m.min_vector().as_dict() == {"a": 3, "b": 2}
+
+
+def test_stable_requires_everyone():
+    m = MatrixClock(["a", "b", "c"])
+    m.set_component("a", "a", 2)
+    m.set_component("b", "a", 2)
+    assert not m.stable("a", 2)
+    m.set_component("c", "a", 2)
+    assert m.stable("a", 2)
+    assert m.stable("a", 1)
+    assert not m.stable("a", 3)
+
+
+def test_set_component_never_regresses():
+    m = MatrixClock(["a", "b"])
+    m.set_component("a", "b", 5)
+    m.set_component("a", "b", 3)
+    assert m.row("a")["b"] == 5
+
+
+def test_update_row_merges():
+    m = MatrixClock(["a", "b"])
+    m.update_row("a", VectorClock({"a": 2}))
+    m.update_row("a", VectorClock({"b": 3}))
+    assert m.row("a").as_dict() == {"a": 2, "b": 3}
+
+
+def test_size_is_quadratic_in_members():
+    small = MatrixClock([f"p{i}" for i in range(4)])
+    big = MatrixClock([f"p{i}" for i in range(8)])
+    assert big.size_bytes() >= 3.5 * small.size_bytes()
+
+
+def test_empty_matrix_min_vector():
+    assert MatrixClock([]).min_vector() == VectorClock()

@@ -1,0 +1,63 @@
+"""Unit tests for local clocks and the sync service."""
+
+from repro.sim import Simulator
+from repro.sim.clock import ClockSyncService, LocalClock, make_skewed_clocks
+
+
+def test_offset_and_drift():
+    sim = Simulator()
+    clock = LocalClock(sim, offset=2.0, drift=0.01)
+    assert clock.read() == 2.0
+    sim.call_at(100.0, lambda: None)
+    sim.run()
+    assert abs(clock.read() - (2.0 + 101.0)) < 1e-9  # 100 * 1.01 + 2
+
+
+def test_adjust_to_sets_current_reading():
+    sim = Simulator()
+    clock = LocalClock(sim, offset=50.0)
+    clock.adjust_to(0.0)
+    assert clock.read() == 0.0
+    assert clock.error() == 0.0
+
+
+def test_sync_service_bounds_error():
+    sim = Simulator(seed=2)
+    clocks = make_skewed_clocks(sim, ["a", "b", "c"], max_offset=10.0, max_drift=1e-3)
+    service = ClockSyncService(sim, clocks, period=50.0, residual=0.01)
+    assert any(abs(c.error()) > 0.5 for c in clocks.values())
+    service.sync_now()
+    assert service.max_skew() <= 0.01 + 1e-9
+
+
+def test_periodic_sync_keeps_skew_bounded_despite_drift():
+    sim = Simulator(seed=3)
+    clocks = make_skewed_clocks(sim, ["a", "b"], max_offset=5.0, max_drift=1e-3)
+    service = ClockSyncService(sim, clocks, period=20.0, residual=0.05)
+    service.sync_now()
+    service.start()
+    sim.call_at(1000.0, lambda: None)
+    sim.run(until=1000.0)
+    # worst case: residual + drift over one period
+    assert service.max_skew() <= 0.05 + 1e-3 * 20.0 + 1e-9
+    assert service.rounds >= 40
+    assert service.sync_messages == service.rounds * 2 * len(clocks)
+
+
+def test_stop_halts_rounds():
+    sim = Simulator()
+    clocks = {"a": LocalClock(sim, offset=1.0)}
+    service = ClockSyncService(sim, clocks, period=10.0)
+    service.start()
+    sim.call_at(25.0, service.stop)
+    sim.run(until=200.0)
+    assert service.rounds == 2
+
+
+def test_make_skewed_clocks_is_seed_deterministic():
+    sim1 = Simulator(seed=11)
+    sim2 = Simulator(seed=11)
+    c1 = make_skewed_clocks(sim1, ["a", "b"])
+    c2 = make_skewed_clocks(sim2, ["a", "b"])
+    assert c1["a"].offset == c2["a"].offset
+    assert c1["b"].drift == c2["b"].drift

@@ -1,0 +1,44 @@
+"""Unit tests for failure injection."""
+
+from repro.sim import FailureInjector, LinkModel, Network, Process, Simulator
+
+
+def test_scheduled_crash_and_recover():
+    sim = Simulator()
+    net = Network(sim, LinkModel())
+    p = Process(sim, net, "p")
+    injector = FailureInjector(sim, net)
+    injector.crash_at(10.0, "p")
+    injector.recover_at(20.0, "p")
+    sim.run(until=15.0)
+    assert not p.alive
+    sim.run(until=25.0)
+    assert p.alive
+    assert [(t, kind) for (t, kind, _) in injector.log] == [
+        (10.0, "crash"), (20.0, "recover")
+    ]
+
+
+def test_partition_and_heal_via_injector():
+    sim = Simulator()
+    net = Network(sim, LinkModel())
+    Process(sim, net, "a")
+    Process(sim, net, "b")
+    injector = FailureInjector(sim, net)
+    injector.partition_at(5.0, {"a"}, {"b"})
+    injector.heal_at(10.0)
+    sim.run(until=7.0)
+    assert not net.connected("a", "b")
+    sim.run(until=12.0)
+    assert net.connected("a", "b")
+
+
+def test_immediate_crash():
+    sim = Simulator()
+    net = Network(sim, LinkModel())
+    p = Process(sim, net, "p")
+    injector = FailureInjector(sim, net)
+    injector.crash_now("p")
+    assert not p.alive
+    injector.recover_now("p")
+    assert p.alive

@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_events_execute_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_later(5.0, order.append, "b")
+    sim.call_later(1.0, order.append, "a")
+    sim.call_later(9.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_equal_times_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.call_at(3.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    hits = []
+    sim.call_at(10.0, hits.append, "edge")
+    sim.call_at(10.5, hits.append, "beyond")
+    sim.run(until=10.0)
+    assert hits == ["edge"]
+    assert sim.now == 10.0
+    sim.run()
+    assert hits == ["edge", "beyond"]
+
+
+def test_run_until_with_empty_queue_still_advances():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    hits = []
+    timer = sim.call_later(5.0, hits.append, "x")
+    timer.cancel()
+    sim.run()
+    assert hits == []
+    assert sim.pending == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    timer = sim.call_later(5.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    sim.run()
+
+
+def test_reschedule_moves_the_timer():
+    sim = Simulator()
+    hits = []
+    timer = sim.call_later(5.0, hits.append, "x")
+    sim.call_later(1.0, timer.reschedule, 20.0)
+    sim.run()
+    assert hits == ["x"]
+    assert sim.now == 21.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.call_later(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.call_at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    hits = []
+    sim.call_at(1.0, hits.append, "a")
+    sim.call_at(2.0, sim.stop)
+    sim.call_at(3.0, hits.append, "b")
+    sim.run()
+    assert hits == ["a"]
+    sim.run()
+    assert hits == ["a", "b"]
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    hits = []
+    for i in range(10):
+        sim.call_at(float(i), hits.append, i)
+    sim.run(max_events=4)
+    assert hits == [0, 1, 2, 3]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    hits = []
+
+    def chain(n: int) -> None:
+        hits.append(n)
+        if n < 3:
+            sim.call_later(1.0, chain, n + 1)
+
+    sim.call_at(0.0, chain, 0)
+    sim.run()
+    assert hits == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_rng_is_deterministic_per_seed():
+    a = Simulator(seed=7)
+    b = Simulator(seed=7)
+    c = Simulator(seed=8)
+    series_a = [a.rng.random() for _ in range(5)]
+    series_b = [b.rng.random() for _ in range(5)]
+    series_c = [c.rng.random() for _ in range(5)]
+    assert series_a == series_b
+    assert series_a != series_c
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.call_at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5

@@ -1,0 +1,170 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.sim import LinkModel, Network, Process, Simulator
+from repro.sim.network import estimate_size
+
+
+class Recorder(Process):
+    def __init__(self, sim, net, pid):
+        super().__init__(sim, net, pid)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((self.sim.now, src, payload))
+
+
+def build(seed=0, **link):
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(**link))
+    a = Recorder(sim, net, "a")
+    b = Recorder(sim, net, "b")
+    return sim, net, a, b
+
+
+def test_basic_delivery_with_latency():
+    sim, net, a, b = build(latency=7.0)
+    sim.call_at(1.0, a.send, "b", "hello")
+    sim.run()
+    assert b.received == [(8.0, "a", "hello")]
+
+
+def test_jitter_bounds_latency():
+    sim, net, a, b = build(seed=3, latency=10.0, jitter=5.0)
+    for i in range(50):
+        sim.call_at(float(i * 100), a.send, "b", i)
+    sim.run()
+    delays = [t - i * 100 for (t, _, i) in b.received]
+    assert all(10.0 <= d <= 15.0 for d in delays)
+    assert len(set(delays)) > 1  # actually jittered
+
+
+def test_drop_probability_drops_some():
+    sim, net, a, b = build(seed=5, drop_prob=0.5)
+    for i in range(100):
+        sim.call_at(float(i), a.send, "b", i)
+    sim.run()
+    assert 20 < len(b.received) < 80
+    assert net.stats.dropped == 100 - len(b.received)
+
+
+def test_per_link_override():
+    sim, net, a, b = build(latency=5.0)
+    net.set_link("a", "b", LinkModel(latency=50.0))
+    sim.call_at(0.0, a.send, "b", "slow")
+    sim.call_at(0.0, b.send, "a", "fast")
+    sim.run()
+    assert b.received[0][0] == 50.0
+    assert a.received[0][0] == 5.0
+
+
+def test_symmetric_link_override():
+    sim, net, a, b = build(latency=5.0)
+    net.set_link_symmetric("a", "b", LinkModel(latency=30.0))
+    sim.call_at(0.0, a.send, "b", 1)
+    sim.call_at(0.0, b.send, "a", 2)
+    sim.run()
+    assert a.received[0][0] == 30.0 and b.received[0][0] == 30.0
+
+
+def test_partition_blocks_and_heal_restores():
+    sim, net, a, b = build()
+    net.partition({"a"}, {"b"})
+    sim.call_at(0.0, a.send, "b", "lost")
+    sim.call_at(10.0, net.heal)
+    sim.call_at(11.0, a.send, "b", "through")
+    sim.run()
+    assert [p for (_, _, p) in b.received] == ["through"]
+    assert net.stats.partitioned == 1
+
+
+def test_partition_formed_mid_flight_drops_packet():
+    sim, net, a, b = build(latency=10.0)
+    sim.call_at(0.0, a.send, "b", "in-flight")
+    sim.call_at(5.0, net.partition, {"a"}, {"b"})
+    sim.run()
+    assert b.received == []
+
+
+def test_crashed_destination_drops():
+    sim, net, a, b = build(latency=5.0)
+    sim.call_at(0.0, a.send, "b", "x")
+    sim.call_at(1.0, b.crash)
+    sim.run()
+    assert b.received == []
+    assert net.stats.to_crashed == 1
+
+
+def test_crashed_sender_sends_nothing():
+    sim, net, a, b = build()
+    sim.call_at(0.0, a.crash)
+    sim.call_at(1.0, a.send, "b", "x")
+    sim.run()
+    assert b.received == []
+    assert net.stats.sent == 0
+
+
+def test_unknown_destination_raises():
+    sim, net, a, b = build()
+    with pytest.raises(KeyError):
+        net.send("a", "nobody", "x")
+
+
+def test_duplicate_pid_rejected():
+    sim, net, a, b = build()
+    with pytest.raises(ValueError):
+        Recorder(sim, net, "a")
+
+
+def test_fifo_link_preserves_order_despite_jitter():
+    sim = Simulator(seed=9)
+    net = Network(sim, LinkModel(latency=10.0, jitter=30.0, fifo=True))
+    a = Recorder(sim, net, "a")
+    b = Recorder(sim, net, "b")
+    for i in range(30):
+        sim.call_at(float(i), a.send, "b", i)
+    sim.run()
+    payloads = [p for (_, _, p) in b.received]
+    assert payloads == sorted(payloads)
+    assert len(payloads) == 30
+
+
+def test_stats_bytes_accounting():
+    sim, net, a, b = build()
+    sim.call_at(0.0, a.send, "b", "x" * 100)
+    sim.run()
+    assert net.stats.bytes_sent == 100
+    assert net.stats.bytes_delivered == 100
+
+
+class _Sized:
+    def size_bytes(self):
+        return 4242
+
+
+def test_estimate_size_prefers_size_bytes_hook():
+    assert estimate_size(_Sized()) == 4242
+
+
+def test_estimate_size_containers():
+    assert estimate_size("abcd") == 4
+    assert estimate_size(b"abc") == 3
+    assert estimate_size(7) == 8
+    assert estimate_size(None) == 1
+    assert estimate_size(True) == 1
+    assert estimate_size([1, 2]) == 8 + 16
+    assert estimate_size({"a": 1}) == 8 + 1 + 8
+
+
+def test_drop_hooks_fire_on_every_drop_kind():
+    sim, net, a, b = build()
+    dropped = []
+    net.drop_hooks.append(lambda packet: dropped.append(packet.payload))
+    net.partition({"a"}, {"b"})
+    sim.call_at(0.0, a.send, "b", "partitioned")
+    sim.call_at(1.0, net.heal)
+    sim.call_at(2.0, b.crash)
+    sim.call_at(3.0, a.send, "b", "to-crashed")
+    sim.run()
+    assert dropped == ["partitioned", "to-crashed"]

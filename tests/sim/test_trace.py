@@ -1,0 +1,49 @@
+"""Unit tests for the event trace and diagram renderer."""
+
+from repro.sim import EventTrace, render_event_diagram
+
+
+def test_record_and_filter():
+    trace = EventTrace()
+    trace.record(1.0, "p", "send", "m1")
+    trace.record(2.0, "q", "recv", "m1")
+    trace.record(3.0, "q", "deliver", "m1")
+    assert len(trace.entries) == 3
+    assert [e.label for e in trace.for_pid("q")] == ["m1", "m1"]
+    assert [e.pid for e in trace.of_kind("deliver")] == ["q"]
+    assert trace.delivery_order("q") == ["m1"]
+    assert trace.labels(kind="send") == ["m1"]
+
+
+def test_clear():
+    trace = EventTrace()
+    trace.record(1.0, "p", "send", "x")
+    trace.clear()
+    assert trace.entries == []
+
+
+def test_render_columns_and_rows():
+    trace = EventTrace()
+    trace.record(1.0, "p", "send", "m1")
+    trace.record(2.0, "q", "deliver", "m1")
+    out = render_event_diagram(trace, ["p", "q"], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "p" in lines[1] and "q" in lines[1]
+    assert "send: m1" in out and "deliver: m1" in out
+    # events sorted by time: send row before deliver row
+    assert out.index("send: m1") < out.index("deliver: m1")
+
+
+def test_render_truncates_long_labels():
+    trace = EventTrace()
+    trace.record(1.0, "p", "send", "x" * 100)
+    out = render_event_diagram(trace, ["p"], width=20)
+    assert "~" in out
+
+
+def test_render_skips_unknown_pids():
+    trace = EventTrace()
+    trace.record(1.0, "elsewhere", "send", "m")
+    out = render_event_diagram(trace, ["p"])
+    assert "elsewhere" not in out

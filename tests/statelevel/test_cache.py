@@ -1,0 +1,81 @@
+"""Tests for the order-preserving data cache (Section 4.1)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.statelevel import OrderPreservingCache
+
+
+def test_independent_items_surface_immediately():
+    cache = OrderPreservingCache()
+    out = cache.insert("a", 1)
+    assert [e.item_id for e in out] == ["a"]
+    assert cache.get("a").surfaced
+
+
+def test_response_held_until_inquiry_arrives():
+    cache = OrderPreservingCache()
+    assert cache.insert("resp", "R", deps=("inq",)) == []
+    assert [e.item_id for e in cache.held()] == ["resp"]
+    assert cache.missing_dependencies() == {"inq"}
+    out = cache.insert("inq", "Q")
+    assert [e.item_id for e in out] == ["inq", "resp"]
+    assert cache.held() == []
+
+
+def test_show_out_of_order_mode_flags_instead_of_holding():
+    cache = OrderPreservingCache(show_out_of_order=True)
+    out = cache.insert("resp", "R", deps=("inq",))
+    assert len(out) == 1 and out[0].out_of_order
+    out2 = cache.insert("inq", "Q")
+    assert [e.item_id for e in out2] == ["inq"]
+    assert not out2[0].out_of_order
+
+
+def test_chained_dependencies_release_transitively():
+    cache = OrderPreservingCache()
+    cache.insert("c", 3, deps=("b",))
+    cache.insert("b", 2, deps=("a",))
+    out = cache.insert("a", 1)
+    assert [e.item_id for e in out] == ["a", "b", "c"]
+
+
+def test_duplicate_insert_ignored():
+    cache = OrderPreservingCache()
+    cache.insert("a", 1)
+    assert cache.insert("a", 99) == []
+    assert cache.get("a").value == 1
+
+
+def test_multi_dependency_waits_for_all():
+    cache = OrderPreservingCache()
+    cache.insert("joint", 0, deps=("x", "y"))
+    assert cache.insert("x", 1) and cache.held()
+    out = cache.insert("y", 2)
+    assert [e.item_id for e in out] == ["y", "joint"]
+
+
+def test_state_size_counts_entries_and_waits():
+    cache = OrderPreservingCache()
+    cache.insert("r1", 0, deps=("i1",))
+    cache.insert("r2", 0, deps=("i1", "i2"))
+    assert cache.state_size() == 2 + 3  # 2 entries + 3 wait registrations
+
+
+@given(
+    st.permutations(
+        # 4 inquiries and their responses, inserted in any order
+        [("i1", ()), ("i2", ()), ("r1", ("i1",)), ("r2", ("i1",)),
+         ("r3", ("i2",)), ("x", ())]
+    )
+)
+def test_never_surfaces_before_dependencies(order):
+    cache = OrderPreservingCache()
+    for item_id, deps in order:
+        cache.insert(item_id, item_id, deps=deps)
+    surfaced = [e.item_id for e in cache.surfaced()]
+    assert set(surfaced) == {i for i, _ in order}
+    index = {item: k for k, item in enumerate(surfaced)}
+    for item_id, deps in order:
+        for dep in deps:
+            assert index[dep] < index[item_id], surfaced

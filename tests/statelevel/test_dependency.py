@@ -1,0 +1,57 @@
+"""Tests for dependency fields and the tracker (the Fig. 4 fix)."""
+
+from repro.statelevel import DependencyTracker, Stamped
+
+
+def test_stamped_depends_on():
+    datum = Stamped("theo", 1, 26.0, deps=(("option", 3),))
+    assert datum.depends_on("option") == 3
+    assert datum.depends_on("other") is None
+
+
+def test_offer_classifications():
+    tracker = DependencyTracker()
+    assert tracker.offer(Stamped("option", 1, 25.5)) == "applied"
+    assert tracker.offer(Stamped("theo", 1, 26.0, deps=(("option", 1),))) == "applied"
+    assert tracker.offer(Stamped("option", 2, 26.0)) == "applied"
+    # a theo derived from the stale option version: accepted but flagged
+    assert (
+        tracker.offer(Stamped("theo", 2, 26.2, deps=(("option", 1),)))
+        == "applied-stale-deps"
+    )
+    # an older version of an object we already hold: discarded
+    assert tracker.offer(Stamped("option", 1, 25.5)) == "stale"
+    assert tracker.rejected_stale_version == 1
+    assert tracker.flagged_stale_deps == 1
+
+
+def test_consistent_view_excludes_stale_derivations():
+    tracker = DependencyTracker()
+    tracker.offer(Stamped("option", 1, 25.5))
+    tracker.offer(Stamped("theo", 1, 26.0, deps=(("option", 1),)))
+    view = tracker.consistent_view()
+    assert set(view) == {"option", "theo"}
+    tracker.offer(Stamped("option", 2, 26.5))
+    view = tracker.consistent_view()
+    assert set(view) == {"option"}  # theo now derived from outdated base
+    tracker.offer(Stamped("theo", 2, 27.0, deps=(("option", 2),)))
+    assert set(tracker.consistent_view()) == {"option", "theo"}
+
+
+def test_dependency_on_unknown_base_counts_as_current():
+    tracker = DependencyTracker()
+    # the derived datum arrives before its base: versions cannot contradict
+    assert tracker.offer(Stamped("theo", 1, 26.0, deps=(("option", 1),))) == "applied"
+    # base then arrives at the same version: still consistent
+    tracker.offer(Stamped("option", 1, 25.5))
+    assert set(tracker.consistent_view()) == {"option", "theo"}
+
+
+def test_multiple_dependencies():
+    tracker = DependencyTracker()
+    tracker.offer(Stamped("a", 1, 0))
+    tracker.offer(Stamped("b", 2, 0))
+    combo = Stamped("c", 1, 0, deps=(("a", 1), ("b", 2)))
+    assert tracker.offer(combo) == "applied"
+    tracker.offer(Stamped("b", 3, 1))
+    assert not tracker.deps_current(combo)

@@ -1,0 +1,61 @@
+"""Tests for real-time timestamping utilities (Section 4.6)."""
+
+from repro.statelevel import LatestValueRegister, SensorSmoother, TimestampedReading
+from repro.statelevel.realtime import temporal_order
+
+
+def reading(value, ts, source="s"):
+    return TimestampedReading(source=source, value=value, timestamp=ts)
+
+
+def test_register_keeps_newest_by_timestamp_not_arrival():
+    register = LatestValueRegister()
+    assert register.offer(reading(2.0, ts=20.0))
+    assert not register.offer(reading(1.0, ts=10.0))  # late arrival, stale
+    assert register.value() == 2.0
+    assert register.discarded_stale == 1
+    assert register.applied == 1
+
+
+def test_register_staleness():
+    register = LatestValueRegister()
+    assert register.staleness(now=5.0) == float("inf")
+    register.offer(reading(1.0, ts=10.0))
+    assert register.staleness(now=25.0) == 15.0
+
+
+def test_register_equal_timestamp_discarded():
+    register = LatestValueRegister()
+    register.offer(reading(1.0, ts=10.0))
+    assert not register.offer(reading(2.0, ts=10.0))
+
+
+def test_smoother_averages_recent_window():
+    smoother = SensorSmoother(window=10.0)
+    smoother.offer(reading(100.0, ts=0.0))   # outside the window
+    smoother.offer(reading(10.0, ts=95.0))
+    smoother.offer(reading(20.0, ts=100.0))
+    assert smoother.estimate(now=100.0) == 15.0
+
+
+def test_smoother_pools_replicated_sensors():
+    smoother = SensorSmoother(window=10.0)
+    smoother.offer(reading(10.0, ts=100.0, source="s1"))
+    smoother.offer(reading(14.0, ts=100.0, source="s2"))
+    assert smoother.estimate() == 12.0
+
+
+def test_smoother_empty_and_capacity():
+    smoother = SensorSmoother(max_readings=3)
+    assert smoother.estimate() is None
+    for i in range(10):
+        smoother.offer(reading(float(i), ts=float(i)))
+    assert smoother.reading_count() == 3
+
+
+def test_temporal_order_sorts_by_timestamp_then_source():
+    readings = [reading(1, 30.0, "b"), reading(2, 10.0, "c"), reading(3, 30.0, "a")]
+    ordered = temporal_order(readings)
+    assert [(r.timestamp, r.source) for r in ordered] == [
+        (10.0, "c"), (30.0, "a"), (30.0, "b")
+    ]

@@ -1,0 +1,66 @@
+"""Tests for versioned stores and prescriptive ordering."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.statelevel import PrescriptiveOrderer, VersionedStore, VersionedValue
+
+
+def test_store_versions_increase_per_key():
+    store = VersionedStore()
+    a1 = store.write("a", 10)
+    a2 = store.write("a", 20)
+    b1 = store.write("b", 1)
+    assert (a1.version, a2.version, b1.version) == (1, 2, 1)
+    assert store.read("a").value == 20
+    assert store.version("a") == 2
+    assert store.version("missing") == 0
+    assert "a" in store and len(store) == 2
+
+
+def test_store_watchers_fire_in_commit_order():
+    store = VersionedStore()
+    log = []
+    store.watchers.append(lambda rec: log.append((rec.key, rec.version)))
+    store.write("x", 1)
+    store.write("x", 2)
+    assert log == [("x", 1), ("x", 2)]
+
+
+def test_orderer_discards_stale():
+    orderer = PrescriptiveOrderer()
+    v2 = VersionedValue("k", "new", 2)
+    v1 = VersionedValue("k", "old", 1)
+    assert orderer.offer(v2)
+    assert not orderer.offer(v1)
+    assert orderer.value("k") == "new"
+    assert orderer.discarded_stale == 1
+    assert orderer.applied == 1
+
+
+def test_orderer_keys_independent():
+    orderer = PrescriptiveOrderer()
+    orderer.offer(VersionedValue("a", 1, 5))
+    assert orderer.offer(VersionedValue("b", 2, 1))
+
+
+def test_orderer_default_value():
+    orderer = PrescriptiveOrderer()
+    assert orderer.value("nothing", default="d") == "d"
+    assert orderer.current("nothing") is None
+
+
+@given(st.permutations(list(range(1, 12))))
+def test_orderer_applied_versions_strictly_increase(arrival_order):
+    """The headline invariant: regardless of arrival order, the state only
+    ever moves forward — the Figure 2 fix."""
+    orderer = PrescriptiveOrderer()
+    for version in arrival_order:
+        orderer.offer(VersionedValue("k", f"v{version}", version))
+    observed = orderer.observed_versions("k")
+    assert observed == sorted(observed)
+    assert len(observed) == len(set(observed))
+    # the maximum version always wins
+    assert orderer.current("k").version == 11

@@ -1,0 +1,176 @@
+"""Integration tests for distributed transactions (2PL + 2PC)."""
+
+from repro.sim import FailureInjector, LinkModel, Network, Simulator
+from repro.txn import ResourceServer, Transaction, TransactionCoordinator
+from repro.txn.coordinator import read, update, write
+
+
+def build(seed=0, constraint=None, initial_a=None, initial_b=None):
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=3.0, jitter=1.0))
+    sa = ResourceServer(sim, net, "sa", initial=initial_a or {"x": 10},
+                        constraint=constraint)
+    sb = ResourceServer(sim, net, "sb", initial=initial_b or {"y": 5})
+    co = TransactionCoordinator(sim, net, "co")
+    return sim, net, sa, sb, co
+
+
+def test_cross_server_transfer_commits_atomically():
+    sim, net, sa, sb, co = build()
+    done = []
+    txn = Transaction(
+        ops=[read("sa", "x"), read("sb", "y"),
+             write("sa", "x", lambda ctx: ctx["x"] - 3),
+             write("sb", "y", lambda ctx: ctx["y"] + 3)],
+        on_done=done.append,
+    )
+    sim.call_at(1.0, co.submit, txn)
+    sim.run(until=2000)
+    assert done[0].status == "committed"
+    assert sa.store["x"] == 7 and sb.store["y"] == 8
+    assert sa.versions["x"] == 2
+    assert done[0].latency > 0
+
+
+def test_read_only_transaction():
+    sim, net, sa, sb, co = build()
+    done = []
+    sim.call_at(1.0, co.submit, Transaction(ops=[read("sa", "x")], on_done=done.append))
+    sim.run(until=1000)
+    assert done[0].status == "committed"
+    assert done[0].ctx["x"] == 10
+
+
+def test_constraint_refusal_aborts_everywhere():
+    def no_negatives(key, value, store):
+        if isinstance(value, (int, float)) and value < 0:
+            return "negative balance"
+        return None
+
+    sim, net, sa, sb, co = build(constraint=no_negatives)
+    done = []
+    txn = Transaction(
+        ops=[write("sa", "x", -1), write("sb", "y", 99)],
+        on_done=done.append,
+    )
+    sim.call_at(1.0, co.submit, txn)
+    sim.run(until=2000)
+    assert done[0].status == "refused"
+    assert done[0].reason == "negative balance"
+    assert sa.store["x"] == 10 and sb.store["y"] == 5  # nothing applied anywhere
+    assert sa.refusals == 1
+
+
+def test_conflicting_transactions_serialize():
+    sim, net, sa, sb, co = build()
+    done = []
+    for i in range(5):
+        txn = Transaction(
+            ops=[update("sa", "x", lambda ctx: ctx["x"] + 1)],
+            on_done=done.append,
+        )
+        sim.call_at(1.0 + 0.1 * i, co.submit, txn)
+    sim.run(until=5000)
+    assert all(r.status == "committed" for r in done)
+    assert sa.store["x"] == 15  # all five increments, no lost update
+
+
+def test_read_then_write_same_key_upgrade_deadlocks_under_contention():
+    """The classic S->X upgrade deadlock: documented 2PL behaviour, and the
+    reason the update() op exists.  Both transactions end up holding S and
+    queuing for X; the wait-for edges witness the cycle."""
+    sim, net, sa, sb, co = build()
+    done = []
+    for _ in range(2):
+        txn = Transaction(
+            ops=[read("sa", "x"), write("sa", "x", lambda ctx: ctx["x"] + 1)],
+            on_done=done.append,
+        )
+        sim.call_at(1.0, co.submit, txn)
+    sim.run(until=150)
+    assert not done
+    edges = set(sa.wait_for_edges())
+    assert len(edges) == 2
+    # resolvable the standard way: abort one victim
+    co.abort_txn(sorted(co.active_txn_ids())[0], "deadlock")
+    sim.run(until=3000)
+    assert sorted(r.status for r in done) == ["aborted", "committed"]
+    assert sa.store["x"] == 11
+
+
+def test_deadlock_victim_abort_releases_locks():
+    sim, net, sa, sb, co = build()
+    c2 = TransactionCoordinator(sim, net, "c2")
+    r1, r2 = [], []
+    sim.call_at(1.0, co.submit, Transaction(
+        ops=[write("sa", "x", 1), write("sb", "y", 1)], on_done=r1.append))
+    sim.call_at(1.0, c2.submit, Transaction(
+        ops=[write("sb", "y", 2), write("sa", "x", 2)], on_done=r2.append))
+    sim.run(until=300)
+    assert not r1 and not r2  # deadlocked
+    victims = co.active_txn_ids()
+    assert victims
+    co.abort_txn(victims[0], "deadlock")
+    sim.run(until=3000)
+    assert r1 and r1[0].status == "aborted"
+    assert r2 and r2[0].status == "committed"
+    assert sa.store["x"] == 2 and sb.store["y"] == 2
+
+
+def test_restart_after_deadlock_abort_eventually_commits():
+    sim, net, sa, sb, co = build()
+    c2 = TransactionCoordinator(sim, net, "c2")
+    r1, r2 = [], []
+    sim.call_at(1.0, co.submit, Transaction(
+        ops=[write("sa", "x", 1), write("sb", "y", 1)],
+        on_done=r1.append, max_restarts=2))
+    sim.call_at(1.0, c2.submit, Transaction(
+        ops=[write("sb", "y", 2), write("sa", "x", 2)], on_done=r2.append))
+    sim.call_at(300.0, lambda: co.abort_txn(co.active_txn_ids()[0], "deadlock")
+                if co.active_txn_ids() else None)
+    sim.run(until=5000)
+    assert r1 and r1[0].status == "committed" and r1[0].restarts == 1
+    assert r2 and r2[0].status == "committed"
+
+
+def test_participant_crash_during_prepare_aborts_via_timeout():
+    sim, net, sa, sb, co = build()
+    done = []
+    txn = Transaction(
+        ops=[write("sa", "x", 1), write("sb", "y", 1)],
+        on_done=done.append,
+    )
+    sim.call_at(1.0, co.submit, txn)
+    # sb dies right as prepare goes out
+    FailureInjector(sim, net).crash_at(12.0, "sb")
+    sim.run(until=3000)
+    assert done and done[0].status == "aborted"
+    assert done[0].reason == "prepare timeout"
+    assert sa.store["x"] == 10  # aborted at the survivor
+
+
+def test_server_recovery_replays_committed_state():
+    sim, net, sa, sb, co = build()
+    done = []
+    sim.call_at(1.0, co.submit, Transaction(
+        ops=[write("sa", "x", 77)], on_done=done.append))
+    injector = FailureInjector(sim, net)
+    injector.crash_at(100.0, "sa")
+    injector.recover_at(200.0, "sa")
+    sim.run(until=3000)
+    assert done[0].status == "committed"
+    assert sa.store["x"] == 77  # rebuilt from the WAL
+
+
+def test_server_crash_wipes_uncommitted_staged_writes():
+    sim, net, sa, sb, co = build()
+    done = []
+    # transaction will stall in prepare because sb crashed; sa staged a write
+    sim.call_at(1.0, co.submit, Transaction(
+        ops=[write("sa", "x", 123), write("sb", "y", 1)], on_done=done.append))
+    injector = FailureInjector(sim, net)
+    injector.crash_at(12.0, "sb")
+    injector.crash_at(50.0, "sa")
+    injector.recover_at(400.0, "sa")
+    sim.run(until=3000)
+    assert sa.store.get("x") != 123

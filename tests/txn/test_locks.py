@@ -1,0 +1,125 @@
+"""Unit and property tests for the lock manager."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.txn import LockManager, LockMode, LockRequestState
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+
+
+def test_shared_locks_compatible():
+    lm = LockManager()
+    assert lm.acquire("t1", "k", S) is LockRequestState.GRANTED
+    assert lm.acquire("t2", "k", S) is LockRequestState.GRANTED
+    assert set(lm.holders("k")) == {"t1", "t2"}
+
+
+def test_exclusive_blocks_everyone():
+    lm = LockManager()
+    lm.acquire("t1", "k", X)
+    assert lm.acquire("t2", "k", S) is LockRequestState.WAITING
+    assert lm.acquire("t3", "k", X) is LockRequestState.WAITING
+
+
+def test_release_wakes_fifo():
+    lm = LockManager()
+    order = []
+    lm.acquire("t1", "k", X)
+    lm.acquire("t2", "k", X, callback=lambda: order.append("t2"))
+    lm.acquire("t3", "k", X, callback=lambda: order.append("t3"))
+    lm.release_all("t1")
+    assert order == ["t2"]
+    lm.release_all("t2")
+    assert order == ["t2", "t3"]
+
+
+def test_shared_behind_queued_exclusive_waits():
+    lm = LockManager()
+    lm.acquire("t1", "k", S)
+    assert lm.acquire("t2", "k", X) is LockRequestState.WAITING
+    # t3's shared request must not starve t2's exclusive
+    assert lm.acquire("t3", "k", S) is LockRequestState.WAITING
+    lm.release_all("t1")
+    assert lm.holds("t2", "k", X)
+
+
+def test_reentrant_acquire():
+    lm = LockManager()
+    lm.acquire("t1", "k", S)
+    assert lm.acquire("t1", "k", S) is LockRequestState.GRANTED
+    lm.acquire("t1", "j", X)
+    assert lm.acquire("t1", "j", S) is LockRequestState.GRANTED  # X covers S
+
+
+def test_upgrade_sole_holder_immediate():
+    lm = LockManager()
+    lm.acquire("t1", "k", S)
+    assert lm.acquire("t1", "k", X) is LockRequestState.GRANTED
+    assert lm.holds("t1", "k", X)
+
+
+def test_upgrade_with_other_sharers_waits_with_priority():
+    lm = LockManager()
+    granted = []
+    lm.acquire("t1", "k", S)
+    lm.acquire("t2", "k", S)
+    assert lm.acquire("t1", "k", X, callback=lambda: granted.append("t1")) \
+        is LockRequestState.WAITING
+    lm.release_all("t2")
+    assert granted == ["t1"]
+    assert lm.holds("t1", "k", X)
+
+
+def test_release_all_drops_queued_requests_too():
+    lm = LockManager()
+    lm.acquire("t1", "k", X)
+    lm.acquire("t2", "k", X)
+    lm.release_all("t2")  # t2 aborts while waiting
+    lm.release_all("t1")
+    assert lm.holders("k") == {}
+
+
+def test_wait_for_edges():
+    lm = LockManager()
+    lm.acquire("t1", "a", X)
+    lm.acquire("t2", "b", X)
+    lm.acquire("t1", "b", X)
+    lm.acquire("t2", "a", X)
+    edges = set(lm.wait_for_edges())
+    assert edges == {("t1", "t2"), ("t2", "t1")}
+    assert lm.waiting_txns() == {"t1", "t2"}
+
+
+def test_locks_of():
+    lm = LockManager()
+    lm.acquire("t1", "a", S)
+    lm.acquire("t1", "b", X)
+    assert lm.locks_of("t1") == {"a", "b"}
+    lm.release_all("t1")
+    assert lm.locks_of("t1") == set()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["t1", "t2", "t3"]),
+            st.sampled_from(["j", "k"]),
+            st.sampled_from([S, X]),
+            st.booleans(),  # release_all after this step?
+        ),
+        max_size=30,
+    )
+)
+def test_never_two_exclusive_holders(steps):
+    """Safety invariant under arbitrary acquire/release interleavings."""
+    lm = LockManager()
+    for txn, key, mode, release in steps:
+        lm.acquire(txn, key, mode)
+        if release:
+            lm.release_all(txn)
+        for check_key in ("j", "k"):
+            holders = lm.holders(check_key)
+            exclusive = [t for t, m in holders.items() if m is X]
+            if exclusive:
+                assert len(holders) == 1, holders

@@ -1,0 +1,116 @@
+"""Tests for optimistic concurrency control (Section 4.3)."""
+
+from repro.sim import LinkModel, Network, Simulator
+from repro.txn import OccClient, OccServer
+from repro.txn.occ import OccTransaction
+
+
+def build(seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=3.0, jitter=1.0))
+    server = OccServer(sim, net, "srv", initial={"x": 10, "y": 5})
+    client = OccClient(sim, net, "cli")
+    return sim, net, server, client
+
+
+def test_simple_read_compute_write_commits():
+    sim, net, server, client = build()
+    done = []
+    txn = OccTransaction(
+        reads=[("srv", "x")],
+        compute=lambda ctx: {("srv", "x"): ctx["x"] + 1},
+        on_done=done.append,
+    )
+    sim.call_at(1.0, client.submit, txn)
+    sim.run(until=1000)
+    assert done[0].status == "committed"
+    assert server.store["x"] == 11
+    assert server.versions["x"] == 2
+
+
+def test_blind_write_commits():
+    sim, net, server, client = build()
+    done = []
+    txn = OccTransaction(writes={("srv", "z"): 42}, on_done=done.append)
+    sim.call_at(1.0, client.submit, txn)
+    sim.run(until=1000)
+    assert done[0].status == "committed"
+    assert server.store["z"] == 42
+
+
+def test_stale_read_aborts():
+    sim, net, server, client = build()
+    done = []
+    slow = OccTransaction(
+        reads=[("srv", "x")],
+        compute=lambda ctx: {("srv", "x"): ctx["x"] * 2},
+        on_done=done.append,
+        label="slow",
+    )
+    sim.call_at(1.0, client.submit, slow)
+    # A direct store mutation between the read and the validation.
+    sim.call_at(6.0, lambda: (server.store.__setitem__("x", 99),
+                              server.versions.__setitem__("x", 5)))
+    sim.run(until=1000)
+    assert done[0].status == "aborted"
+    assert "stale read" in done[0].reason
+    assert server.store["x"] == 99  # the aborted write never applied
+
+
+def test_concurrent_increments_first_committer_wins_with_retries():
+    sim, net, server, client = build()
+    client2 = OccClient(sim, net, "cli2")
+    done = []
+    for owner in (client, client2):
+        txn = OccTransaction(
+            reads=[("srv", "x")],
+            compute=lambda ctx: {("srv", "x"): ctx["x"] + 1},
+            on_done=done.append,
+            max_restarts=5,
+        )
+        sim.call_at(1.0, owner.submit, txn)
+    sim.run(until=5000)
+    assert [r.status for r in done] == ["committed", "committed"]
+    assert server.store["x"] == 12  # both increments, serialized by retry
+    assert done[1].restarts >= 1
+
+
+def test_commit_timestamps_form_a_total_order():
+    sim, net, server, client = build()
+    client2 = OccClient(sim, net, "cli2")
+    done = []
+    for i, owner in enumerate([client, client2, client, client2]):
+        txn = OccTransaction(writes={("srv", f"k{i}"): i}, on_done=done.append)
+        sim.call_at(1.0 + i, owner.submit, txn)
+    sim.run(until=2000)
+    stamps = [r.timestamp for r in done]
+    assert len(stamps) == 4
+    assert len(set(stamps)) == 4  # pid tiebreak makes them unique
+    assert sorted(stamps) == sorted(stamps, key=lambda s: (s[0], s[1]))
+
+
+def test_read_only_transaction_commits_without_validation_conflict():
+    sim, net, server, client = build()
+    done = []
+    txn = OccTransaction(reads=[("srv", "x"), ("srv", "y")], on_done=done.append)
+    sim.call_at(1.0, client.submit, txn)
+    sim.run(until=1000)
+    assert done[0].status == "committed"
+    assert done[0].ctx == {"x": 10, "y": 5}
+
+
+def test_busy_key_conflict_aborts_second_validator():
+    sim = Simulator(seed=0)
+    # Large latency so the second validate arrives inside the first's
+    # prepared window.
+    net = Network(sim, LinkModel(latency=20.0))
+    server = OccServer(sim, net, "srv", initial={"x": 1})
+    c1 = OccClient(sim, net, "c1")
+    c2 = OccClient(sim, net, "c2")
+    done = []
+    for owner in (c1, c2):
+        txn = OccTransaction(writes={("srv", "x"): 7}, on_done=done.append)
+        sim.call_at(1.0, owner.submit, txn)
+    sim.run(until=5000)
+    statuses = sorted(r.status for r in done)
+    assert statuses == ["aborted", "committed"]

@@ -1,0 +1,141 @@
+"""Tests for read-any/write-all-available replication (Section 4.4)."""
+
+from repro.sim import FailureInjector, LinkModel, Network, Simulator
+from repro.txn import ReplicaServer, ReplicatedStoreClient
+
+
+def build(seed=0, n=3, vote_timeout=60.0, **kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=4.0, jitter=2.0))
+    pids = [f"r{i}" for i in range(n)]
+    replicas = {pid: ReplicaServer(sim, net, pid) for pid in pids}
+    client = ReplicatedStoreClient(sim, net, "cli", replicas=pids,
+                                   vote_timeout=vote_timeout, **kwargs)
+    return sim, net, replicas, client
+
+
+def test_write_reaches_all_replicas():
+    sim, net, replicas, client = build()
+    results = []
+    sim.call_at(1.0, client.write, "f", 42, results.append)
+    sim.run(until=1000)
+    assert results[0].status == "committed"
+    assert set(results[0].replicas) == {"r0", "r1", "r2"}
+    assert all(r.store.get("f") == 42 for r in replicas.values())
+
+
+def test_read_any_returns_value():
+    sim, net, replicas, client = build()
+    values = []
+    sim.call_at(1.0, client.write, "f", 7)
+    sim.call_at(200.0, client.read, "f", values.append)
+    sim.run(until=1000)
+    assert values == [7]
+
+
+def test_crashed_replica_dropped_at_commit_not_aborting():
+    sim, net, replicas, client = build()
+    FailureInjector(sim, net).crash_at(5.0, "r2")
+    results = []
+    sim.call_at(10.0, client.write, "f", 1, results.append)
+    sim.run(until=2000)
+    assert results[0].status == "committed"
+    assert set(results[0].replicas) == {"r0", "r1"}
+    assert client.availability == ["r0", "r1"]
+    assert client.drops == 1
+
+
+def test_subsequent_writes_skip_dropped_replica_quickly():
+    sim, net, replicas, client = build()
+    FailureInjector(sim, net).crash_at(5.0, "r2")
+    results = []
+    sim.call_at(10.0, client.write, "a", 1, results.append)
+    sim.call_at(200.0, client.write, "b", 2, results.append)
+    sim.run(until=2000)
+    # The second write never targets r2 and needs no vote timeout.
+    assert results[1].latency < 60.0
+    assert set(results[1].replicas) == {"r0", "r1"}
+
+
+def test_recovered_replica_rejoins_after_state_transfer():
+    sim, net, replicas, client = build()
+    injector = FailureInjector(sim, net)
+    injector.crash_at(5.0, "r2")
+    results = []
+    sim.call_at(10.0, client.write, "a", 1, results.append)
+    injector.recover_at(300.0, "r2")
+    sim.call_at(301.0, replicas["r2"].begin_rejoin, "r0")
+    sim.call_at(500.0, client.write, "b", 2, results.append)
+    sim.run(until=3000)
+    assert "r2" in client.availability
+    assert replicas["r2"].store.get("a") == 1  # caught up via transfer
+    assert replicas["r2"].store.get("b") == 2  # and receives new writes
+    assert set(results[1].replicas) == {"r0", "r1", "r2"}
+
+
+def test_committed_writes_survive_replica_crash_via_wal():
+    sim, net, replicas, client = build()
+    results = []
+    sim.call_at(1.0, client.write, "f", 9, results.append)
+    injector = FailureInjector(sim, net)
+    injector.crash_at(100.0, "r1")
+    injector.recover_at(200.0, "r1")
+    sim.run(until=2000)
+    assert results[0].status == "committed"
+    assert replicas["r1"].store.get("f") == 9  # replayed from the WAL
+
+
+def test_all_replicas_down_write_fails():
+    sim, net, replicas, client = build(vote_timeout=30.0)
+    injector = FailureInjector(sim, net)
+    for pid in replicas:
+        injector.crash_at(1.0, pid)
+    results = []
+    sim.call_at(5.0, client.write, "f", 1, results.append)
+    sim.run(until=2000)
+    assert results[0].status == "failed"
+    assert client.availability == []
+
+
+def test_read_fails_over_when_first_replica_is_dead():
+    sim, net, replicas, client = build()
+    results = []
+    sim.call_at(1.0, client.write, "f", 5)
+    # r0 (the read-any first choice) dies after the write replicated
+    FailureInjector(sim, net).crash_at(100.0, "r0")
+    values = []
+    sim.call_at(200.0, client.read, "f", values.append)
+    sim.run(until=2000)
+    assert values == [5]          # answered by a surviving replica
+    assert "r0" not in client.availability  # and the dead one was dropped
+
+
+def test_read_exhausting_all_replicas_returns_none():
+    sim, net, replicas, client = build()
+    injector = FailureInjector(sim, net)
+    for pid in replicas:
+        injector.crash_at(1.0, pid)
+    values = []
+    sim.call_at(10.0, client.read, "f", values.append)
+    sim.run(until=2000)
+    assert values == [None]
+
+
+def test_read_with_empty_availability_returns_none():
+    sim, net, replicas, client = build()
+    client.stable.write("availability", [])
+    values = []
+    client.read("f", values.append)
+    assert values == [None]
+
+
+def test_ack_on_prepared_halves_latency():
+    sim1, _, _, fast = build(seed=1, ack_on_prepared=True)
+    results_fast = []
+    sim1.call_at(1.0, fast.write, "f", 1, results_fast.append)
+    sim1.run(until=1000)
+    sim2, _, _, slow = build(seed=1, ack_on_prepared=False)
+    results_slow = []
+    sim2.call_at(1.0, slow.write, "f", 1, results_slow.append)
+    sim2.run(until=1000)
+    assert results_fast[0].latency < results_slow[0].latency

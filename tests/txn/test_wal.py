@@ -1,0 +1,67 @@
+"""Tests for stable storage and the write-ahead log."""
+
+from repro.txn import StableStorage, WriteAheadLog
+
+
+def test_stable_storage_counts_forced_writes():
+    storage = StableStorage()
+    storage.write("a", 1)
+    storage.write("a", 2)
+    assert storage.read("a") == 2
+    assert storage.forced_writes == 2
+    assert "a" in storage and storage.keys() == ["a"]
+    assert storage.read("missing", "default") == "default"
+
+
+def test_recover_replays_only_committed():
+    wal = WriteAheadLog()
+    wal.log_update("t1", "x", 10)
+    wal.log_prepare("t1")
+    wal.log_commit("t1")
+    wal.log_update("t2", "y", 20)
+    wal.log_prepare("t2")  # crashed before decision
+    wal.log_update("t3", "z", 30)
+    wal.log_abort("t3")
+    state = wal.recover()
+    assert state == {"x": 10}
+
+
+def test_recover_respects_log_order_for_same_key():
+    wal = WriteAheadLog()
+    wal.log_update("t1", "x", 1)
+    wal.log_commit("t1")
+    wal.log_update("t2", "x", 2)
+    wal.log_commit("t2")
+    assert wal.recover() == {"x": 2}
+
+
+def test_prepared_undecided():
+    wal = WriteAheadLog()
+    wal.log_prepare("t1")
+    wal.log_prepare("t2")
+    wal.log_commit("t1")
+    assert wal.prepared_undecided() == ["t2"]
+    wal.log_abort("t2")
+    assert wal.prepared_undecided() == []
+
+
+def test_log_survives_process_restart_via_storage():
+    storage = StableStorage()
+    wal = WriteAheadLog(storage)
+    wal.log_update("t1", "x", 5)
+    wal.log_commit("t1")
+    # "crash": rebuild the WAL object from the same stable storage
+    reborn = WriteAheadLog(storage)
+    assert reborn.recover() == {"x": 5}
+    # and appends continue with increasing LSNs
+    lsn = reborn.log_update("t2", "y", 6)
+    assert lsn == len(wal.records)
+
+
+def test_every_append_is_forced():
+    storage = StableStorage()
+    wal = WriteAheadLog(storage)
+    before = storage.forced_writes
+    wal.log_update("t", "k", 1)
+    wal.log_commit("t")
+    assert storage.forced_writes == before + 2
