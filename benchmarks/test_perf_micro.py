@@ -89,6 +89,21 @@ def test_vector_clock_merge_compare(benchmark):
     assert benchmark(run) == 500 * 3
 
 
+def test_trace_filtering_throughput(benchmark):
+    from repro.sim import EventTrace
+
+    trace = EventTrace()
+    for i in range(100_000):
+        trace.record(float(i), f"p{i % 100}", ("send", "recv", "deliver")[i % 3],
+                     "m")
+
+    def run():
+        return len(trace.for_pid("p7")) + len(trace.of_kind("deliver"))
+
+    # indexed filtering: O(result), not O(trace)
+    assert benchmark(run) == 1000 + 33_333
+
+
 def test_matrix_clock_stability_scan(benchmark):
     matrix = MatrixClock([f"p{i}" for i in range(16)])
     for i in range(16):

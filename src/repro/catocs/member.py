@@ -171,6 +171,15 @@ class GroupMember(Process):
         self.membership = None  # attached by ViewManager, if any
         self.failure_detector = None  # attached by HeartbeatDetector, if any
 
+        # Observability: per-member ordering traffic, evaluated lazily.
+        registry = sim.metrics
+        registry.gauge_fn("ordering.control_sent", lambda: self.control_sent,
+                          discipline=ordering, pid=pid)
+        registry.gauge_fn("ordering.multicasts_sent", lambda: self.multicasts_sent,
+                          discipline=ordering, pid=pid)
+        registry.gauge_fn("ordering.delivered", lambda: len(self.delivered),
+                          discipline=ordering, pid=pid)
+
     # -- public API ---------------------------------------------------------------
 
     def multicast(self, payload: Any) -> Optional[MsgId]:

@@ -290,6 +290,16 @@ class ViewManager:
             )
         )
         self._change_started = 0.0
+        registry = getattr(member.sim, "metrics", None)
+        if registry is not None:
+            registry.counter("membership.view_changes").inc()
+            registry.histogram("membership.view_change_duration").observe(
+                member.sim.now - started
+            )
+            registry.gauge_fn("membership.view_change_messages",
+                              lambda: self.view_change_messages, pid=member.pid)
+            registry.gauge_fn("membership.current_view_id",
+                              lambda: member.view_id, pid=member.pid)
         member.on_view_installed(install)
 
     def _apply_forgiveness(self, departed_counts: Dict[str, int]) -> None:

@@ -2,9 +2,16 @@
 
 Usage::
 
-    python -m repro.experiments            # all experiments
-    python -m repro.experiments E04 E09    # a subset
-    python -m repro.experiments --list     # names only
+    python -m repro.experiments                              # all experiments
+    python -m repro.experiments E04 E09                      # a subset
+    python -m repro.experiments --list                       # names only
+    python -m repro.experiments run_all --metrics-out m.json # + metrics dump
+
+``--metrics-out PATH`` captures every metrics registry the experiments
+create (kernel, network, ordering, membership, bus — see
+``docs/OBSERVABILITY.md``) and writes one aggregated JSON dump per
+experiment.  ``run_all``/``all`` are accepted as explicit spellings of "the
+whole suite".
 
 Exit status is non-zero if any reproduction check fails.
 """
@@ -12,9 +19,10 @@ Exit status is non-zero if any reproduction check fails.
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from repro.experiments.harness import ExperimentResult
+from repro.obs import aggregate, capture, write_json
 
 
 def registry() -> Dict[str, Callable[[], ExperimentResult]]:
@@ -48,28 +56,68 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
     }
 
 
+def _parse_args(argv: List[str]) -> tuple:
+    """Split argv into (experiment tokens, metrics path, error)."""
+    names: List[str] = []
+    metrics_out = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--metrics-out":
+            if i + 1 >= len(argv):
+                return [], None, "--metrics-out requires a path"
+            metrics_out = argv[i + 1]
+            i += 2
+            continue
+        if arg.startswith("--metrics-out="):
+            metrics_out = arg.split("=", 1)[1]
+            i += 1
+            continue
+        if arg.startswith("-"):
+            return [], None, f"unknown option: {arg}"
+        names.append(arg)
+        i += 1
+    return names, metrics_out, None
+
+
 def main(argv: List[str]) -> int:
     experiments = registry()
     if "--list" in argv:
         for name in experiments:
             print(name)
         return 0
-    wanted = [a.upper() for a in argv if not a.startswith("-")] or list(experiments)
+    tokens, metrics_out, error = _parse_args(argv)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    wanted = [t.upper() for t in tokens if t.lower() not in ("run_all", "all")]
+    wanted = wanted or list(experiments)
     unknown = [w for w in wanted if w not in experiments]
     if unknown:
         print(f"unknown experiments: {unknown}; use --list", file=sys.stderr)
         return 2
 
     failures: List[str] = []
+    metrics_by_experiment: Dict[str, Any] = {}
     for name in wanted:
-        result = experiments[name]()
+        with capture() as registries:
+            result = experiments[name]()
+        if metrics_out is not None:
+            metrics_by_experiment[name] = aggregate(registries)
         print(result.render())
         print()
         print("#" * 78)
         print()
         if not result.passed:
             failures.append(name)
-    total_checks = 0
+    if metrics_out is not None:
+        try:
+            write_json(metrics_out, metrics_by_experiment)
+        except OSError as exc:
+            print(f"cannot write metrics to {metrics_out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"metrics for {len(metrics_by_experiment)} experiments "
+              f"written to {metrics_out}")
     print(f"ran {len(wanted)} experiments; "
           f"{'ALL PASSED' if not failures else 'FAILED: ' + ', '.join(failures)}")
     return 1 if failures else 0

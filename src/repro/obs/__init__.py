@@ -1,0 +1,34 @@
+"""Observability: metrics registry, virtual-time spans, JSON export.
+
+One :class:`MetricsRegistry` hangs off every
+:class:`~repro.sim.kernel.Simulator` as ``sim.metrics``; the network,
+ordering layers, membership protocol, and information bus register their
+instruments into it as they are constructed.  ``repro.experiments run_all
+--metrics-out metrics.json`` captures every registry an experiment creates
+and writes one aggregated JSON dump — see ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import SCHEMA, aggregate, capture, write_json
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+)
+
+__all__ = [
+    "SCHEMA",
+    "aggregate",
+    "capture",
+    "write_json",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]

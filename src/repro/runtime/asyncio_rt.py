@@ -21,6 +21,7 @@ import asyncio
 import random
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
 
+from repro.obs import MetricsRegistry
 from repro.sim.network import LinkModel, NetworkStats, Packet, estimate_size
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,6 +53,9 @@ class AsyncioClock:
         self._t0 = self._loop.time()
         self.seed = seed
         self.rng = random.Random(seed)
+        # Same observability surface as the simulator kernel; spans measure
+        # wall-clock-since-start here instead of virtual time.
+        self.metrics = MetricsRegistry("asyncio", clock=lambda: self.now)
 
     @property
     def now(self) -> float:
@@ -110,6 +114,9 @@ class AsyncioNetwork:
 
     def heal(self) -> None:
         self._partition_of = {}
+
+    def note_crash(self, pid: str) -> None:
+        """Link-state hook for process crashes (no FIFO clocks here)."""
 
     def connected(self, a: str, b: str) -> bool:
         return self._partition_of.get(a, 0) == self._partition_of.get(b, 0)

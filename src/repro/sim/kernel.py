@@ -8,6 +8,12 @@ assert, e.g., that the Figure 4 trading anomaly occurs at a specific tick.
 
 Events with equal timestamps are ordered by insertion sequence number, so the
 execution order is a deterministic function of the schedule calls alone.
+
+Cancelled events stay in the heap as tombstones (removing from the middle of
+a heap is O(n)); the kernel keeps O(1) live/tombstone counters and compacts
+the heap lazily once tombstones dominate, so timer-heavy protocols (NAK
+timers, heartbeats — armed by the thousand and mostly cancelled) don't drag
+every subsequent push/pop through dead weight.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+from repro.obs import MetricsRegistry
 
 
 @dataclass(order=True)
@@ -32,6 +40,7 @@ class Event:
     fn: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
 
 class Timer:
@@ -47,18 +56,38 @@ class Timer:
         return self._event.time
 
     @property
+    def fired(self) -> bool:
+        """True once the timer's callback has run."""
+        return self._event.fired
+
+    @property
     def active(self) -> bool:
-        """True while the timer is pending and not cancelled."""
-        return not self._event.cancelled and self._event.time >= self._sim.now
+        """True while the timer is pending: not cancelled and not yet fired."""
+        return not self._event.cancelled and not self._event.fired
 
     def cancel(self) -> None:
-        """Prevent the timer from firing.  Idempotent."""
-        self._event.cancelled = True
+        """Prevent the timer from firing.  Idempotent; a no-op once fired."""
+        self._sim._cancel_event(self._event)
 
     def reschedule(self, delay: float) -> "Timer":
-        """Cancel this timer and schedule its callback ``delay`` from now."""
+        """Cancel this timer and schedule its callback ``delay`` from now.
+
+        Raises :class:`RuntimeError` if the timer already fired — silently
+        re-running an already-executed callback is never what the caller
+        meant (arm a fresh timer instead).
+        """
+        if self._event.fired:
+            raise RuntimeError(
+                "cannot reschedule a timer that has already fired; "
+                "schedule a new one with call_later()"
+            )
         self.cancel()
         return self._sim.call_later(delay, self._event.fn, *self._event.args)
+
+
+#: Compaction triggers when at least this many tombstones have accumulated
+#: *and* they make up at least half the heap.
+_COMPACT_MIN_TOMBSTONES = 64
 
 
 class Simulator:
@@ -78,7 +107,25 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._events_executed = 0
+        self._live = 0  # non-cancelled events currently queued
+        self._tombstones = 0  # cancelled events still occupying the heap
+        self._compactions = 0
         self._stopped = False
+        self.metrics = MetricsRegistry("sim", clock=lambda: self.now)
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        m = self.metrics
+        m.gauge_fn("kernel.events_executed", lambda: self._events_executed)
+        m.gauge_fn("kernel.pending", lambda: self._live)
+        m.gauge_fn("kernel.queue_depth", lambda: len(self._queue))
+        m.gauge_fn("kernel.tombstones", lambda: self._tombstones)
+        m.gauge_fn(
+            "kernel.tombstone_ratio",
+            lambda: self._tombstones / len(self._queue) if self._queue else 0.0,
+        )
+        m.gauge_fn("kernel.compactions", lambda: self._compactions)
+        m.gauge_fn("kernel.virtual_time", lambda: self.now)
 
     # -- scheduling ---------------------------------------------------------
 
@@ -94,7 +141,25 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         event = Event(time=time, seq=next(self._seq), fn=fn, args=args)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return Timer(self, event)
+
+    def _cancel_event(self, event: Event) -> None:
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._live -= 1
+        self._tombstones += 1
+        if (self._tombstones >= _COMPACT_MIN_TOMBSTONES
+                and self._tombstones * 2 >= len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstones and re-heapify (amortised O(1) per cancellation)."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+        self._compactions += 1
 
     # -- execution ----------------------------------------------------------
 
@@ -103,7 +168,10 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
+            self._live -= 1
+            event.fired = True
             self.now = event.time
             self._events_executed += 1
             event.fn(*event.args)
@@ -119,7 +187,14 @@ class Simulator:
         self._stopped = False
         executed = 0
         while self._queue and not self._stopped:
-            if until is not None and self._queue[0].time > until:
+            head = self._queue[0]
+            if head.cancelled:
+                # Shed tombstones eagerly here so the ``until`` peek below
+                # sees the next *live* event, not a dead one's timestamp.
+                heapq.heappop(self._queue)
+                self._tombstones -= 1
+                continue
+            if until is not None and head.time > until:
                 self.now = until
                 break
             if max_events is not None and executed >= max_events:
@@ -141,5 +216,25 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled tombstones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live events still queued, O(1).
+
+        Cancelled tombstones are *excluded*: they occupy heap slots until
+        popped or compacted but will never execute.  See :attr:`queue_depth`
+        for the raw heap size including tombstones.
+        """
+        return self._live
+
+    @property
+    def queue_depth(self) -> int:
+        """Raw heap size, including cancelled tombstones awaiting compaction."""
+        return len(self._queue)
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled events still occupying the heap."""
+        return self._tombstones
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been rebuilt to shed tombstones."""
+        return self._compactions

@@ -10,6 +10,14 @@ latencies (the ingredient of most reordering anomalies) and inject loss.
 Links are non-FIFO by default (each packet samples latency independently);
 protocols that need FIFO channels (e.g. Chandy-Lamport) layer sequence
 numbers on top, as they would in practice, or request ``fifo=True`` links.
+
+``fifo=True`` models a connection-oriented channel, and severing it behaves
+like a connection reset: when a partition splits the endpoints or either
+endpoint crashes, packets already in flight on the link are lost, and the
+link's FIFO arrival clock is forgotten once the endpoints can talk again.
+Without the reset, post-heal traffic would be sequenced behind the
+scheduled arrivals of packets that no longer exist — phantom ordering
+delays referenced to pre-partition ghosts.
 """
 
 from __future__ import annotations
@@ -77,7 +85,13 @@ class LinkModel:
 
 @dataclass
 class Packet:
-    """A message in flight."""
+    """A message in flight.
+
+    ``link_epoch`` is stamped on packets sent over FIFO links: it records
+    the link's connection epoch at send time, so a reset (partition or
+    endpoint crash) while the packet is in flight invalidates it.  None for
+    non-FIFO links, which have no connection state to reset.
+    """
 
     packet_id: int
     src: str
@@ -85,6 +99,7 @@ class Packet:
     payload: Any
     send_time: float
     size: int
+    link_epoch: Optional[int] = None
 
 
 @dataclass
@@ -96,6 +111,7 @@ class NetworkStats:
     dropped: int = 0
     partitioned: int = 0
     to_crashed: int = 0
+    reset: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
     per_sender: Dict[str, int] = field(default_factory=dict)
@@ -107,6 +123,7 @@ class NetworkStats:
             "dropped": self.dropped,
             "partitioned": self.partitioned,
             "to_crashed": self.to_crashed,
+            "reset": self.reset,
             "bytes_sent": self.bytes_sent,
             "bytes_delivered": self.bytes_delivered,
         }
@@ -130,7 +147,26 @@ class Network:
         self._packet_ids = itertools.count()
         self._partition_of: Dict[str, int] = {}
         self._fifo_clock: Dict[Tuple[str, str], float] = {}
+        self._link_epoch: Dict[Tuple[str, str], int] = {}
         self.drop_hooks: list[Callable[[Packet], None]] = []
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        m = self.sim.metrics
+        stats = self.stats
+        m.gauge_fn("net.sent", lambda: stats.sent)
+        m.gauge_fn("net.delivered", lambda: stats.delivered)
+        m.gauge_fn("net.bytes_sent", lambda: stats.bytes_sent)
+        m.gauge_fn("net.bytes_delivered", lambda: stats.bytes_delivered)
+        # One drop counter per cause; the cause split is what the partition
+        # experiments consume (loss vs partition vs crashed destination).
+        self._m_drop_loss = m.counter("net.drops", cause="loss")
+        self._m_drop_partition = m.counter("net.drops", cause="partition_at_send")
+        self._m_drop_in_flight = m.counter("net.drops", cause="partition_in_flight")
+        self._m_drop_crashed = m.counter("net.drops", cause="to_crashed")
+        self._m_drop_reset = m.counter("net.drops", cause="link_reset")
+        #: per-link latency histograms, memoized by (src, dst)
+        self._latency_hists: Dict[Tuple[str, str], Any] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -163,16 +199,57 @@ class Network:
         """Split processes into disjoint partitions.
 
         Processes not named in any group stay in partition 0 along with the
-        first group.  Packets only flow within a partition.
+        first group.  Packets only flow within a partition.  FIFO links that
+        the new partition severs suffer a connection reset: their in-flight
+        packets are lost (see :class:`Packet` ``link_epoch``).
         """
-        self._partition_of = {}
+        new_map: Dict[str, int] = {}
         for index, group in enumerate(groups):
             for pid in group:
-                self._partition_of[pid] = index
+                new_map[pid] = index
+        self._apply_partition(new_map)
 
     def heal(self) -> None:
-        """Remove all partitions."""
-        self._partition_of = {}
+        """Remove all partitions.
+
+        FIFO clocks for links that were severed are forgotten: their last
+        recorded arrival refers to pre-partition traffic that died in the
+        reset, and holding post-heal packets behind those ghosts would
+        impose phantom ordering delays.
+        """
+        self._apply_partition({})
+
+    def _apply_partition(self, new_map: Dict[str, int]) -> None:
+        old_map = self._partition_of
+
+        def joined(mapping: Dict[str, int], a: str, b: str) -> bool:
+            return mapping.get(a, 0) == mapping.get(b, 0)
+
+        for key in set(self._fifo_clock) | set(self._link_epoch):
+            was = joined(old_map, *key)
+            now = joined(new_map, *key)
+            if was and not now:
+                # Link severed: in-flight FIFO packets die with the
+                # connection.  The clock stays until reconnection so the
+                # severed/reconnected transitions stay symmetric.
+                self._link_epoch[key] = self._link_epoch.get(key, 0) + 1
+            elif now and not was:
+                # Link restored: the recorded arrival is a pre-partition
+                # ghost; a fresh connection starts with a fresh clock.
+                self._fifo_clock.pop(key, None)
+        self._partition_of = new_map
+
+    def note_crash(self, pid: str) -> None:
+        """Reset per-link FIFO state involving a crashed process.
+
+        A crash tears down the process's connections: anything in flight to
+        or from it is lost, and a recovered process's links restart fresh
+        rather than being sequenced after dropped pre-crash packets.
+        """
+        for key in set(self._fifo_clock) | set(self._link_epoch):
+            if pid in key:
+                self._fifo_clock.pop(key, None)
+                self._link_epoch[key] = self._link_epoch.get(key, 0) + 1
 
     def connected(self, a: str, b: str) -> bool:
         return self._partition_of.get(a, 0) == self._partition_of.get(b, 0)
@@ -203,11 +280,13 @@ class Network:
 
         if not self.connected(src, dst):
             self.stats.partitioned += 1
+            self._m_drop_partition.inc()
             self._on_drop(packet)
             return None
         model = self.link(src, dst)
         if model.sample_drop(self.sim.rng):
             self.stats.dropped += 1
+            self._m_drop_loss.inc()
             self._on_drop(packet)
             return None
 
@@ -216,18 +295,35 @@ class Network:
             key = (src, dst)
             arrival = max(arrival, self._fifo_clock.get(key, 0.0))
             self._fifo_clock[key] = arrival
+            packet.link_epoch = self._link_epoch.get(key, 0)
+        hist = self._latency_hists.get((src, dst))
+        if hist is None:
+            hist = self.sim.metrics.histogram("net.link_latency", src=src, dst=dst)
+            self._latency_hists[(src, dst)] = hist
+        hist.observe(arrival - self.sim.now)
         self.sim.call_at(arrival, self._deliver, packet)
         return packet
 
     def _deliver(self, packet: Packet) -> None:
+        if (packet.link_epoch is not None
+                and packet.link_epoch
+                != self._link_epoch.get((packet.src, packet.dst), 0)):
+            # The FIFO link was reset (partition or endpoint crash) while
+            # the packet was in flight; it died with the connection.
+            self.stats.reset += 1
+            self._m_drop_reset.inc()
+            self._on_drop(packet)
+            return
         process = self._processes.get(packet.dst)
         if process is None or not process.alive:
             self.stats.to_crashed += 1
+            self._m_drop_crashed.inc()
             self._on_drop(packet)
             return
         if not self.connected(packet.src, packet.dst):
             # Partition formed while the packet was in flight.
             self.stats.partitioned += 1
+            self._m_drop_in_flight.inc()
             self._on_drop(packet)
             return
         self.stats.delivered += 1

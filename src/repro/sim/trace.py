@@ -5,11 +5,16 @@ advancing downward, send/receive events annotated.  :class:`EventTrace`
 records events as protocols run, and :func:`render_event_diagram` reproduces
 the figures' form so the experiment harness can print, e.g., the Figure 3
 fire/fire-out anomaly exactly as the paper draws it.
+
+Traces from large runs hold hundreds of thousands of entries and the
+anomaly checks filter them repeatedly, so the trace maintains per-pid and
+per-kind indexes as it records: :meth:`EventTrace.for_pid` and
+:meth:`EventTrace.of_kind` cost O(result) instead of O(trace).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -25,10 +30,12 @@ class TraceEntry:
 
 
 class EventTrace:
-    """An append-only log of process events."""
+    """An append-only log of process events, indexed by pid and kind."""
 
     def __init__(self) -> None:
         self.entries: List[TraceEntry] = []
+        self._by_pid: Dict[str, List[TraceEntry]] = {}
+        self._by_kind: Dict[str, List[TraceEntry]] = {}
 
     def record(
         self,
@@ -38,18 +45,29 @@ class EventTrace:
         label: str,
         msg_id: Optional[object] = None,
     ) -> None:
-        self.entries.append(TraceEntry(time, pid, kind, label, msg_id))
+        entry = TraceEntry(time, pid, kind, label, msg_id)
+        self.entries.append(entry)
+        self._by_pid.setdefault(pid, []).append(entry)
+        self._by_kind.setdefault(kind, []).append(entry)
 
     def for_pid(self, pid: str) -> List[TraceEntry]:
-        return [e for e in self.entries if e.pid == pid]
+        """Entries recorded by ``pid``, in record order.  O(result)."""
+        return list(self._by_pid.get(pid, ()))
 
     def of_kind(self, kind: str) -> List[TraceEntry]:
-        return [e for e in self.entries if e.kind == kind]
+        """Entries of one kind, in record order.  O(result)."""
+        return list(self._by_kind.get(kind, ()))
 
     def labels(self, pid: Optional[str] = None, kind: Optional[str] = None) -> List[str]:
-        """Event labels in time order, optionally filtered."""
+        """Event labels in record order, optionally filtered."""
+        if pid is not None and kind is None:
+            source: Iterable[TraceEntry] = self._by_pid.get(pid, ())
+        elif kind is not None and pid is None:
+            source = self._by_kind.get(kind, ())
+        else:
+            source = self.entries
         out = []
-        for e in self.entries:
+        for e in source:
             if pid is not None and e.pid != pid:
                 continue
             if kind is not None and e.kind != kind:
@@ -63,6 +81,8 @@ class EventTrace:
 
     def clear(self) -> None:
         self.entries.clear()
+        self._by_pid.clear()
+        self._by_kind.clear()
 
 
 def render_event_diagram(
@@ -74,7 +94,10 @@ def render_event_diagram(
     """Render the trace as an ASCII event diagram (one column per process).
 
     Matches the layout of the paper's figures: columns are processes, rows
-    advance in time, each cell shows ``kind: label``.
+    advance in time, each cell shows ``kind: label``.  Entries at the same
+    instant keep their trace insertion order (the sort is stable), which is
+    the order the kernel actually executed them — sorting same-time rows by
+    pid could draw an effect above its cause.
     """
     lines: List[str] = []
     if title:
@@ -83,7 +106,7 @@ def render_event_diagram(
     lines.append(header)
     lines.append("".join(f"{'-' * (width - 2):^{width}}" for _ in pids))
     column = {pid: i for i, pid in enumerate(pids)}
-    for entry in sorted(trace.entries, key=lambda e: (e.time, e.pid)):
+    for entry in sorted(trace.entries, key=lambda e: e.time):
         if entry.pid not in column:
             continue
         cells = [" " * width] * len(pids)

@@ -105,6 +105,16 @@ class BusNode(Process):
         self.published = 0
         self.received = 0
 
+        # Observability: per-node traffic gauges plus offer-status counters
+        # (current/superseded/awaiting — the edge-cache consistency signal).
+        registry = sim.metrics
+        registry.gauge_fn("bus.published", lambda: self.published, pid=pid)
+        registry.gauge_fn("bus.received", lambda: self.received, pid=pid)
+        self._m_requests = registry.counter("bus.requests", pid=pid)
+        self._m_replies = registry.counter("bus.replies", pid=pid)
+        self._offer_counters: Dict[str, Any] = {}
+        self._metrics_registry = registry
+
     # -- publish/subscribe ----------------------------------------------------------
 
     def publish(self, subject: str, datum: Stamped) -> None:
@@ -154,6 +164,7 @@ class BusNode(Process):
                 on_reply: Callable[[Any], None]) -> None:
         """Send a request to whichever node responds on ``subject``."""
         request_id = next(self._ids)
+        self._m_requests.inc()
         reply_subject = f"_reply.{self.pid}.{request_id}"
         self._reply_waiters[reply_subject] = on_reply
         message = BusRequest(subject=subject, payload=payload,
@@ -180,6 +191,7 @@ class BusNode(Process):
             return
 
     def _answer(self, request: BusRequest, handler: Callable[[Any], Any]) -> None:
+        self._m_replies.inc()
         result = handler(request.payload)
         reply = Publication(
             subject=request.reply_subject,
@@ -197,6 +209,11 @@ class BusNode(Process):
             waiter(publication.datum.value)
             return
         status = self.tracker.offer(publication.datum)
+        counter = self._offer_counters.get(status)
+        if counter is None:
+            counter = self._metrics_registry.counter("bus.offers", status=status)
+            self._offer_counters[status] = counter
+        counter.inc()
         for pattern, callback in self._subscriptions:
             if subject_matches(pattern, publication.subject):
                 callback(publication.subject, publication.datum, status)

@@ -1,0 +1,99 @@
+"""Unit tests for ambient capture, aggregation, and the JSON dump."""
+
+import json
+
+from repro.obs import SCHEMA, MetricsRegistry, aggregate, capture, write_json
+from repro.obs.export import FAMILIES
+
+
+def test_capture_collects_registries_created_inside_the_block():
+    before = MetricsRegistry("outside")
+    with capture() as seen:
+        a = MetricsRegistry("a")
+        b = MetricsRegistry("b")
+    after = MetricsRegistry("too-late")
+    assert seen == [a, b]
+    assert before not in seen and after not in seen
+
+
+def test_capture_blocks_nest():
+    with capture() as outer:
+        first = MetricsRegistry("first")
+        with capture() as inner:
+            second = MetricsRegistry("second")
+        assert inner == [second]
+    assert outer == [first, second]
+
+
+def test_aggregate_sums_counters_and_summarises_gauges():
+    regs = []
+    for value in (1.0, 3.0):
+        reg = MetricsRegistry("r")
+        reg.counter("kernel.c").inc(int(value))
+        reg.gauge("kernel.g").set(value)
+        regs.append(reg)
+    agg = aggregate(regs)
+    assert agg["registries"] == 2
+    assert agg["kernel"]["counters"]["kernel.c"] == 4
+    assert agg["kernel"]["gauges"]["kernel.g"] == {
+        "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0, "n": 2,
+    }
+
+
+def test_aggregate_merges_histograms():
+    regs = []
+    for values in ((0.5, 2.0), (100.0,)):
+        reg = MetricsRegistry("r")
+        h = reg.histogram("net.lat", bounds=(1.0, 10.0))
+        for v in values:
+            h.observe(v)
+        regs.append(reg)
+    merged = aggregate(regs)["net"]["histograms"]["net.lat"]
+    assert merged["count"] == 3
+    assert merged["sum"] == 102.5
+    assert merged["min"] == 0.5 and merged["max"] == 100.0
+    assert merged["buckets"] == {"<=1": 1, "<=10": 1, "+inf": 1}
+
+
+def test_aggregate_merge_with_empty_histogram_keeps_real_min_max():
+    empty = MetricsRegistry("r")
+    empty.histogram("net.lat")
+    full = MetricsRegistry("r")
+    full.histogram("net.lat").observe(5.0)
+    for order in ([empty, full], [full, empty]):
+        merged = aggregate(order)["net"]["histograms"]["net.lat"]
+        assert merged["count"] == 1
+        assert merged["min"] == 5.0 and merged["max"] == 5.0
+
+
+def test_aggregate_groups_by_family_prefix():
+    reg = MetricsRegistry("r")
+    reg.counter("kernel.x").inc()
+    reg.counter("net.x").inc()
+    reg.counter("mystery.x").inc()
+    agg = aggregate([reg])
+    assert agg["kernel"]["counters"] == {"kernel.x": 1}
+    assert agg["net"]["counters"] == {"net.x": 1}
+    assert agg["other"]["counters"] == {"mystery.x": 1}
+    # every family key is always present, even when empty
+    for family in FAMILIES + ("other",):
+        assert set(agg[family]) == {"counters", "gauges", "histograms"}
+
+
+def test_aggregate_does_not_mutate_source_registries():
+    reg_a = MetricsRegistry("a")
+    reg_a.histogram("net.lat").observe(1.0)
+    reg_b = MetricsRegistry("b")
+    reg_b.histogram("net.lat").observe(2.0)
+    aggregate([reg_a, reg_b])
+    assert reg_a.histogram("net.lat").count == 1  # deep-copied, not merged into
+
+
+def test_write_json_round_trips(tmp_path):
+    reg = MetricsRegistry("r")
+    reg.counter("kernel.events").inc(7)
+    path = tmp_path / "metrics.json"
+    write_json(str(path), {"E99": aggregate([reg])})
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == SCHEMA
+    assert payload["experiments"]["E99"]["kernel"]["counters"]["kernel.events"] == 7

@@ -1,0 +1,53 @@
+"""End-to-end: the experiment CLI writes a valid metrics dump."""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+from repro.experiments.run_all import main
+from repro.obs import SCHEMA
+from repro.obs.export import FAMILIES
+
+
+def _run(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+def test_metrics_out_writes_schema_and_families(tmp_path):
+    path = tmp_path / "metrics.json"
+    code, out = _run(["E02", "--metrics-out", str(path)])
+    assert code == 0
+    assert f"written to {path}" in out
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == SCHEMA
+    assert list(payload["experiments"]) == ["E02"]
+    dump = payload["experiments"]["E02"]
+    assert dump["registries"] >= 1
+    for family in FAMILIES + ("other",):
+        assert set(dump[family]) == {"counters", "gauges", "histograms"}
+    # the experiment ran a simulator and a network on it
+    assert dump["kernel"]["gauges"]["kernel.events_executed"]["sum"] > 0
+    assert dump["net"]["gauges"]["net.delivered"]["sum"] > 0
+    # E02 runs a causal group, so ordering metrics must be present
+    assert any(k.startswith("ordering.pending") for k in dump["ordering"]["gauges"])
+
+
+def test_metrics_out_equals_form(tmp_path):
+    path = tmp_path / "m.json"
+    code, _ = _run(["E01", f"--metrics-out={path}"])
+    assert code == 0
+    assert json.loads(path.read_text())["schema"] == SCHEMA
+
+
+def test_metrics_out_without_path_is_an_error(capsys):
+    assert main(["--metrics-out"]) == 2
+
+
+def test_run_all_token_selects_the_whole_suite():
+    # "run_all"/"all" are spellings of "everything", not experiment names.
+    code, out = _run(["run_all", "E03"])  # E03 explicit, run_all ignored
+    assert code == 0
+    assert "ran 1 experiments" in out

@@ -1,0 +1,92 @@
+"""Regression tests: stale FIFO link state across partitions and crashes.
+
+The seed kept a per-(src, dst) FIFO arrival clock forever.  A FIFO link
+models a connection-oriented channel, so severing it (partition) or losing
+an endpoint (crash) is a connection reset: in-flight packets die, and the
+recorded arrival clock refers to traffic that no longer exists.  The seed
+neither killed the in-flight packets nor forgot the clock, so
+post-heal/post-recovery traffic was sequenced behind ghosts — phantom
+ordering delays referenced to pre-partition arrivals.
+"""
+
+from typing import Any, List, Tuple
+
+from repro.sim import LinkModel, Network, Process, Simulator
+
+
+class Recorder(Process):
+    def __init__(self, sim, net, pid):
+        super().__init__(sim, net, pid)
+        self.got: List[Tuple[float, Any]] = []
+
+    def on_message(self, src, payload):
+        self.got.append((self.sim.now, payload))
+
+
+def test_heal_clears_fifo_clock_for_severed_links():
+    sim = Simulator(seed=0)
+    slow_fifo = LinkModel(latency=50.0, fifo=True)
+    net = Network(sim, slow_fifo)
+    a = Recorder(sim, net, "a")
+    b = Recorder(sim, net, "b")
+
+    # Pre-partition packet: scheduled to arrive at t=50, advancing the FIFO
+    # clock to 50, but dropped in flight when the partition forms at t=1.
+    sim.call_at(0.0, a.send, "b", "ghost")
+    sim.call_at(1.0, net.partition, {"a"}, {"b"})
+    sim.call_at(2.0, net.heal)
+
+    # Post-heal the link is fast; without the fix this packet is held until
+    # the ghost's arrival time (t=50) purely by the stale FIFO clock.
+    def quicken_and_send():
+        net.set_link("a", "b", LinkModel(latency=1.0, fifo=True))
+        a.send("b", "after-heal")
+
+    sim.call_at(3.0, quicken_and_send)
+    sim.run()
+    assert b.got == [(4.0, "after-heal")]
+
+
+def test_heal_keeps_fifo_clock_for_unsevered_links():
+    sim = Simulator(seed=0)
+    net = Network(sim, LinkModel(latency=50.0, fifo=True))
+    a = Recorder(sim, net, "a")
+    b = Recorder(sim, net, "b")
+    c = Recorder(sim, net, "c")
+
+    sim.call_at(0.0, a.send, "b", "m1")  # arrives t=50, FIFO clock = 50
+    # Partition isolates only c; the a->b link stays connected, so its FIFO
+    # ordering must survive the heal.
+    sim.call_at(1.0, net.partition, {"a", "b"}, {"c"})
+    sim.call_at(2.0, net.heal)
+
+    def quicken_and_send():
+        net.set_link("a", "b", LinkModel(latency=1.0, fifo=True))
+        a.send("b", "m2")
+
+    sim.call_at(3.0, quicken_and_send)
+    sim.run()
+    # m2 is still FIFO-sequenced behind m1's genuine arrival.
+    assert b.got == [(50.0, "m1"), (50.0, "m2")]
+
+
+def test_crash_clears_fifo_clock_for_links_touching_the_crashed_pid():
+    sim = Simulator(seed=0)
+    net = Network(sim, LinkModel(latency=50.0, fifo=True))
+    a = Recorder(sim, net, "a")
+    b = Recorder(sim, net, "b")
+
+    # Packet toward b is in flight (FIFO clock = 50) when b crashes; the
+    # packet dies against the crashed destination.
+    sim.call_at(0.0, a.send, "b", "doomed")
+    sim.call_at(1.0, b.crash)
+    sim.call_at(2.0, b.recover)
+
+    def quicken_and_send():
+        net.set_link("a", "b", LinkModel(latency=1.0, fifo=True))
+        a.send("b", "after-recovery")
+
+    sim.call_at(3.0, quicken_and_send)
+    sim.run()
+    # Without the fix the recovered b waits for the ghost's t=50 slot.
+    assert b.got == [(4.0, "after-recovery")]
