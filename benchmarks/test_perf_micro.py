@@ -8,7 +8,7 @@ stands on.
 """
 
 from repro.catocs import build_group
-from repro.ordering import MatrixClock, VectorClock
+from repro.ordering import ClockDomain, MatrixClock, VectorClock
 from repro.sim import LinkModel, Network, Simulator
 
 
@@ -87,6 +87,49 @@ def test_vector_clock_merge_compare(benchmark):
         return out
 
     assert benchmark(run) == 500 * 3
+
+
+def test_dense_clock_merge_compare(benchmark):
+    # Same workload as test_vector_clock_merge_compare, dense representation:
+    # the pair documents the hot-path win (see BENCH_<n>.json for the ledger).
+    domain = ClockDomain(tuple(f"p{i}" for i in range(24)))
+    a = domain.clock({f"p{i}": i * 7 for i in range(24)})
+    b = domain.clock({f"p{i}": i * 5 + 3 for i in range(24)})
+
+    def run():
+        out = 0
+        for _ in range(500):
+            m = a.merged(b)
+            out += (a <= m) + (b <= m) + a.concurrent_with(b)
+        return out
+
+    assert benchmark(run) == 500 * 3
+
+
+def test_vector_clock_send_stamp(benchmark):
+    # The per-multicast sender cost in the dict representation: one dict
+    # copy per send (what CausalOrdering.stamp paid before the dense switch).
+    def run():
+        delivered = VectorClock({f"p{i}": 0 for i in range(24)})
+        for seq in range(1, 1001):
+            delivered.stamped("p0")
+            delivered.advance("p0", seq)
+        return delivered["p0"]
+
+    assert benchmark(run) == 1000
+
+
+def test_dense_clock_send_stamp(benchmark):
+    # The same cycle on the dense path: one flat array copy, in-place advance.
+    def run():
+        domain = ClockDomain(tuple(f"p{i}" for i in range(24)))
+        delivered = domain.zero()
+        for seq in range(1, 1001):
+            delivered.stamped("p0")
+            delivered.advance("p0", seq)
+        return delivered["p0"]
+
+    assert benchmark(run) == 1000
 
 
 def test_trace_filtering_throughput(benchmark):

@@ -1,0 +1,49 @@
+"""repro.bench — the performance-regression ledger.
+
+The reproduction's north star includes "as fast as the hardware allows",
+which is unenforceable without a recorded trajectory.  This package makes
+"fast" a measured, versioned artifact:
+
+- :mod:`repro.bench.workloads` times the substrate the whole suite stands
+  on: simulator event throughput, per-discipline multicast cost, and the
+  clock hot paths (dict vs dense representations, so the ledger itself
+  documents the dense-clock win).
+- :mod:`repro.bench.ledger` reads and writes ``BENCH_<n>.json`` records
+  (schema ``repro.bench/v1``) and diffs two records against a regression
+  threshold.
+- ``python -m repro.bench run`` produces the next record, including the
+  full experiment-suite wall clock and the ``--jobs`` parallel speedup;
+  ``python -m repro.bench compare`` gates CI on the previous record.
+
+See ``docs/PERFORMANCE.md`` for the record format and reading guide.
+"""
+
+from repro.bench.ledger import (
+    SCHEMA,
+    compare_records,
+    latest_records,
+    load_record,
+    next_index,
+    write_record,
+)
+from repro.bench.workloads import (
+    clock_compare_ns,
+    clock_stamp_ns,
+    kernel_events_per_sec,
+    multicast_us_per_delivery,
+    network_msgs_per_sec,
+)
+
+__all__ = [
+    "SCHEMA",
+    "compare_records",
+    "latest_records",
+    "load_record",
+    "next_index",
+    "write_record",
+    "kernel_events_per_sec",
+    "network_msgs_per_sec",
+    "multicast_us_per_delivery",
+    "clock_compare_ns",
+    "clock_stamp_ns",
+]

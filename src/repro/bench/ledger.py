@@ -1,0 +1,139 @@
+"""The ``BENCH_<n>.json`` perf-record ledger: read, write, number, compare.
+
+Each record is one measurement of the substrate's performance at one point
+in the repo's history.  Records are append-only and numbered (``BENCH_1.json``,
+``BENCH_2.json``, ...) so the checked-in sequence *is* the perf trajectory;
+``compare`` diffs two records and flags any gated metric that regressed
+beyond a relative threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Version tag written into every bench record.
+SCHEMA = "repro.bench/v1"
+
+_RECORD_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Gated metrics: dotted path into ``record["metrics"]`` -> True when higher
+#: is better.  Metrics not listed here (speedup, jobs, cpu counts) are
+#: informational only — they describe the machine or the run, not the code.
+GATED_METRICS: Dict[str, bool] = {
+    "kernel_events_per_sec": True,
+    "network_msgs_per_sec": True,
+    "multicast_us_per_delivery.raw": False,
+    "multicast_us_per_delivery.fifo": False,
+    "multicast_us_per_delivery.causal": False,
+    "multicast_us_per_delivery.total-seq": False,
+    "multicast_us_per_delivery.total-agreed": False,
+    "clock_compare_ns.dense": False,
+    "clock_stamp_ns.dense": False,
+    "suite.sequential_s": False,
+}
+
+
+def list_records(directory: str = ".") -> List[Tuple[int, str]]:
+    """All ``BENCH_<n>.json`` files in ``directory``, sorted by index."""
+    found: List[Tuple[int, str]] = []
+    for name in os.listdir(directory):
+        match = _RECORD_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return sorted(found)
+
+
+def next_index(directory: str = ".") -> int:
+    records = list_records(directory)
+    return records[-1][0] + 1 if records else 1
+
+
+def latest_records(directory: str = ".", count: int = 2) -> List[str]:
+    """Paths of the ``count`` newest records, oldest of them first."""
+    return [path for _, path in list_records(directory)[-count:]]
+
+
+def load_record(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    if record.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, found {record.get('schema')!r}"
+        )
+    return record
+
+
+def write_record(record: Dict[str, Any], directory: str = ".") -> str:
+    """Write ``record`` as the next numbered ledger entry; returns its path."""
+    index = next_index(directory)
+    record = dict(record)
+    record.setdefault("schema", SCHEMA)
+    record["index"] = index
+    path = os.path.join(directory, f"BENCH_{index}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _lookup(metrics: Dict[str, Any], dotted: str) -> Optional[float]:
+    node: Any = metrics
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare_records(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    threshold: float = 0.25,
+) -> List[Dict[str, Any]]:
+    """Diff two records over the gated metrics.
+
+    Returns one row per metric present in both records::
+
+        {"metric", "baseline", "candidate", "change",  # signed relative delta
+         "higher_is_better", "regressed"}
+
+    ``change`` is positive when the candidate is *better*; a metric regresses
+    when it is worse than the baseline by more than ``threshold`` (relative).
+    """
+    rows: List[Dict[str, Any]] = []
+    base_metrics = baseline.get("metrics", {})
+    cand_metrics = candidate.get("metrics", {})
+    for metric, higher_is_better in GATED_METRICS.items():
+        base = _lookup(base_metrics, metric)
+        cand = _lookup(cand_metrics, metric)
+        if base is None or cand is None or base <= 0 or math.isnan(base):
+            continue
+        ratio = cand / base
+        change = (ratio - 1.0) if higher_is_better else (1.0 - ratio)
+        rows.append({
+            "metric": metric,
+            "baseline": base,
+            "candidate": cand,
+            "change": change,
+            "higher_is_better": higher_is_better,
+            "regressed": change < -threshold,
+        })
+    return rows
+
+
+def render_comparison(rows: List[Dict[str, Any]]) -> str:
+    """Human-readable comparison table."""
+    if not rows:
+        return "no gated metrics in common; nothing to compare"
+    lines = [f"{'metric':<34} {'baseline':>12} {'candidate':>12} {'change':>8}  verdict"]
+    for row in rows:
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"{row['metric']:<34} {row['baseline']:>12.3f} "
+            f"{row['candidate']:>12.3f} {row['change']:>+7.1%}  {verdict}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Timed micro workloads for the performance ledger.
+
+Mirrors ``benchmarks/test_perf_micro.py`` (the pytest-benchmark smoke suite)
+but measures in-process with ``time.perf_counter`` so the runner needs no
+benchmark plugin and the numbers land in a machine-readable record.  Every
+workload is deterministic (seeded simulators, fixed sizes); wall-clock noise
+is tamed with best-of-``repeats`` timing.
+
+The clock workloads time *both* representations — the dict-shaped
+:class:`~repro.ordering.vector.VectorClock` and the int-indexed
+:class:`~repro.ordering.dense.DenseVectorClock` — because the ledger is the
+evidence that the dense hot path stays faster than the reference one.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from repro.catocs import build_group
+from repro.ordering.dense import ClockDomain
+from repro.ordering.vector import VectorClock
+from repro.sim import LinkModel, Network, Simulator
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall-clock seconds over ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+# -- simulator substrate -----------------------------------------------------------
+
+
+def kernel_events_per_sec(events: int = 20_000, repeats: int = 3) -> float:
+    """Timer-chain event throughput of the discrete-event kernel."""
+
+    def run() -> None:
+        sim = Simulator(seed=0)
+
+        def chain(n: int) -> None:
+            if n:
+                sim.call_later(1.0, chain, n - 1)
+
+        sim.call_at(0.0, chain, events)
+        sim.run()
+
+    return events / best_of(run, repeats)
+
+
+def network_msgs_per_sec(msgs: int = 5_000, repeats: int = 3) -> float:
+    """Point-to-point send/deliver throughput through the network model."""
+    from repro.sim import Process
+
+    class Sink(Process):
+        count = 0
+
+        def on_message(self, src: str, payload: object) -> None:
+            self.count += 1
+
+    def run() -> None:
+        sim = Simulator(seed=0)
+        net = Network(sim, LinkModel(latency=1.0, jitter=0.5))
+        a = Sink(sim, net, "a")
+        b = Sink(sim, net, "b")
+        for i in range(msgs):
+            sim.call_at(float(i) * 0.1, a.send, "b", i)
+        sim.run()
+        assert b.count == msgs
+
+    return msgs / best_of(run, repeats)
+
+
+def multicast_us_per_delivery(
+    members: int = 5,
+    msgs: int = 60,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Wall-clock microseconds per application-level delivery, by discipline.
+
+    The paper's Section 5 overhead claims are about exactly these protocol
+    stacks; this is the end-to-end cost of pushing one message through
+    transport + ordering + delivery in each of them.
+    """
+    out: Dict[str, float] = {}
+    for ordering in ("raw", "fifo", "causal", "total-seq", "total-agreed"):
+
+        def run(ordering: str = ordering) -> None:
+            sim = Simulator(seed=1)
+            net = Network(sim, LinkModel(latency=3.0, jitter=2.0))
+            pids = [f"p{i}" for i in range(members)]
+            group = build_group(sim, net, pids, ordering=ordering, ack_period=20.0)
+            for k in range(msgs):
+                sim.call_at(1.0 + k * 5.0, group[pids[k % members]].multicast, k)
+            sim.run(until=msgs * 5.0 + 500.0)
+            total = sum(len(m.delivered) for m in group.values())
+            assert total == msgs * members
+
+        deliveries = msgs * members
+        out[ordering] = best_of(run, repeats) / deliveries * 1e6
+    return out
+
+
+# -- clock hot paths ----------------------------------------------------------------
+
+
+def _dict_pair(size: int):
+    a = VectorClock({f"p{i}": i * 7 for i in range(size)})
+    b = VectorClock({f"p{i}": i * 5 + 3 for i in range(size)})
+    return a, b
+
+
+def _dense_pair(size: int):
+    domain = ClockDomain(tuple(f"p{i}" for i in range(size)))
+    a = domain.clock({f"p{i}": i * 7 for i in range(size)})
+    b = domain.clock({f"p{i}": i * 5 + 3 for i in range(size)})
+    return a, b
+
+
+def clock_compare_ns(size: int = 24, iterations: int = 2_000,
+                     repeats: int = 3) -> Dict[str, float]:
+    """Nanoseconds per merge-and-compare cycle: dict vs dense clocks.
+
+    One cycle is the E07-style hot sequence — ``merged`` + two ``<=`` checks
+    + one concurrency check — over ``size``-member clocks.
+    """
+
+    def cycle(a, b) -> Callable[[], None]:
+        def run() -> None:
+            for _ in range(iterations):
+                m = a.merged(b)
+                _ = (a <= m) + (b <= m) + a.concurrent_with(b)
+        return run
+
+    out: Dict[str, float] = {}
+    for name, pair in (("dict", _dict_pair(size)), ("dense", _dense_pair(size))):
+        out[name] = best_of(cycle(*pair), repeats) / iterations * 1e9
+    return out
+
+
+def clock_stamp_ns(size: int = 24, iterations: int = 5_000,
+                   repeats: int = 3) -> Dict[str, float]:
+    """Nanoseconds per send-stamp cycle: dict vs dense clocks.
+
+    One cycle is what :meth:`CausalOrdering.stamp` + ``accept_local`` cost
+    per multicast: build the send timestamp (delivered clock with the sender
+    component ticked), then advance the sender's delivered entry.  Both
+    representations go through their ``stamped``/``advance`` hot paths.
+    """
+
+    def dict_run() -> None:
+        delivered = VectorClock({f"p{i}": 0 for i in range(size)})
+        for seq in range(1, iterations + 1):
+            _ = delivered.stamped("p0")
+            delivered.advance("p0", seq)
+
+    def dense_run() -> None:
+        domain = ClockDomain(tuple(f"p{i}" for i in range(size)))
+        delivered = domain.zero()
+        for seq in range(1, iterations + 1):
+            _ = delivered.stamped("p0")
+            delivered.advance("p0", seq)
+
+    return {
+        "dict": best_of(dict_run, repeats) / iterations * 1e9,
+        "dense": best_of(dense_run, repeats) / iterations * 1e9,
+    }

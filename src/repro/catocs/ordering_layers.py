@@ -39,6 +39,7 @@ from repro.catocs.messages import (
     PriorityProposal,
     ProposalRequest,
 )
+from repro.ordering.dense import bss_deliverable, group_domain
 from repro.ordering.vector import VectorClock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -202,13 +203,24 @@ class CausalOrdering(OrderingLayer):
     component equals its sequence number.  Message ``m`` from ``j`` with
     stamp ``V`` is deliverable at ``i`` when ``V[j] == delivered[j] + 1`` and
     ``V[k] <= delivered[k]`` for every ``k != j``.
+
+    Timestamps are dense int-indexed clocks over the group's shared
+    :class:`~repro.ordering.dense.ClockDomain`: every member of one group
+    resolves the same domain through its simulator, so the stamp a sender
+    attaches is compared against each receiver's ``delivered`` clock as two
+    flat arrays.  ``stamp`` shares a frozen snapshot of ``delivered``
+    (copy-on-write) instead of copying a dict per send.
     """
 
     name = "causal"
 
     def __init__(self, member: "GroupMember") -> None:
         super().__init__(member)
-        self.delivered = VectorClock()
+        self._domain = group_domain(
+            member.sim, getattr(member, "group", ""),
+            getattr(member, "view_members", ()),
+        )
+        self.delivered = self._domain.zero()
         self._queue: List[DataMessage] = []
         #: Fast path: messages already deliverable on insertion, released
         #: FIFO ahead of any delay-queue scan.  In the common no-reordering
@@ -222,14 +234,15 @@ class CausalOrdering(OrderingLayer):
         self._ceiling: Optional[VectorClock] = None
 
     def stamp(self, msg: DataMessage) -> None:
-        vc = self.delivered.copy()
-        vc.tick(msg.sender)
-        msg.vc = vc
+        # One-pass array copy+tick; ``delivered`` itself is never aliased,
+        # so the per-delivery ``advance`` calls stay in-place mutations
+        # (vs. a full dict copy per send in the dict-clock representation).
+        msg.vc = self.delivered.stamped(msg.sender)
 
     def accept_local(self, msg: DataMessage) -> List[DataMessage]:
         # Sender delivers its own multicast immediately: everything it
         # depends on was already delivered locally before the send.
-        self.delivered.merge_in(VectorClock({msg.sender: msg.seq}))
+        self.delivered.advance(msg.sender, msg.seq)
         return [msg]
 
     def _required(self, pid: str, wanted: int) -> int:
@@ -247,16 +260,9 @@ class CausalOrdering(OrderingLayer):
         assert msg.vc is not None, "causal message missing vector clock"
         sender = msg.sender
         if self._ceiling is None:
-            # Fast path for the common case (no view change yet): straight
-            # dict comparisons, no per-component ceiling lookups.
-            delivered = self.delivered._counts
-            vc = msg.vc
-            if vc[sender] != delivered.get(sender, 0) + 1:
-                return False
-            for pid, count in vc.items():
-                if pid != sender and delivered.get(pid, 0) < count:
-                    return False
-            return True
+            # Fast path for the common case (no view change yet): a flat
+            # array comparison, no per-component ceiling lookups.
+            return bss_deliverable(msg.vc, self.delivered, sender)
         if self.delivered[sender] < self._required(sender, msg.vc[sender] - 1):
             return False
         if msg.vc[sender] <= self.delivered[sender]:
@@ -276,7 +282,7 @@ class CausalOrdering(OrderingLayer):
 
     def _commit_release(self, msg: DataMessage) -> DataMessage:
         self._release(msg)
-        self.delivered.merge_in(VectorClock({msg.sender: msg.seq}))
+        self.delivered.advance(msg.sender, msg.seq)
         return msg
 
     def release_next(self) -> Optional[DataMessage]:
@@ -313,7 +319,7 @@ class CausalOrdering(OrderingLayer):
     def on_join(self, merged_state: dict, final_counts: Dict[str, int]) -> None:
         # History counts as delivered: causal conditions start at the
         # view's frontier for a joiner.
-        self.delivered.merge_in(VectorClock(final_counts))
+        self.delivered.merge_in(final_counts)
 
     def forgive(self, ceiling: dict) -> None:
         """Install the post-view-change recoverability ceiling.

@@ -83,7 +83,7 @@ class GroupTransport:
         """
         members = list(members)
         self.matrix = MatrixClock(members)
-        self.matrix.update_row(self.member.pid, _as_vc(self.contiguous))
+        self.matrix.update_row(self.member.pid, self.matrix.make_clock(self.contiguous))
         for pid in members:
             if pid not in self.contiguous:
                 self.contiguous[pid] = 0
@@ -110,7 +110,7 @@ class GroupTransport:
         layer), or None for duplicates.
         """
         if msg.ack_vector:
-            self.matrix.update_row(msg.sender, _as_vc(msg.ack_vector))
+            self.matrix.update_row(msg.sender, self.matrix.make_clock(msg.ack_vector))
             self._learn_existence(msg.ack_vector)
         # The sender necessarily holds its own message.
         self.matrix.set_component(msg.sender, msg.sender, msg.seq)
@@ -127,7 +127,7 @@ class GroupTransport:
     def on_control(self, src: str, payload) -> bool:
         """Handle transport control traffic.  Returns True if consumed."""
         if isinstance(payload, AckGossip):
-            self.matrix.update_row(payload.sender, _as_vc(payload.ack_vector))
+            self.matrix.update_row(payload.sender, self.matrix.make_clock(payload.ack_vector))
             self._learn_existence(payload.ack_vector)
             self._check_stability()
             return True
@@ -164,7 +164,7 @@ class GroupTransport:
         else:
             self._ahead.setdefault(sender, {})[seq] = msg
         # Our own receive state is first-hand knowledge for the matrix.
-        self.matrix.update_row(self.member.pid, _as_vc(self.contiguous))
+        self.matrix.update_row(self.member.pid, self.matrix.make_clock(self.contiguous))
 
     # -- gap repair ---------------------------------------------------------------
 
@@ -301,9 +301,3 @@ class GroupTransport:
             "gossip_sent": self.gossip_sent,
             "duplicates": self.duplicates,
         }
-
-
-def _as_vc(counts: Dict[str, int]):
-    from repro.ordering.vector import VectorClock
-
-    return VectorClock(counts)

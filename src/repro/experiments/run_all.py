@@ -5,7 +5,16 @@ Usage::
     python -m repro.experiments                              # all experiments
     python -m repro.experiments E04 E09                      # a subset
     python -m repro.experiments --list                       # names only
+    python -m repro.experiments --jobs 4                     # parallel workers
     python -m repro.experiments run_all --metrics-out m.json # + metrics dump
+
+``--jobs N`` fans the experiments out across N worker processes (``--jobs
+0`` means one per CPU).  Each worker returns a pickle-safe envelope — the
+rendered tables, the verdict, and the experiment's ``repro.obs`` metrics
+dump — and the parent merges envelopes in stable E01→E19 order, so the
+printed report and the ``--metrics-out`` JSON are byte-identical to a
+sequential run.  A worker that crashes is reported per-experiment with its
+traceback; the rest of the suite still completes.
 
 ``--metrics-out PATH`` captures every metrics registry the experiments
 create (kernel, network, ordering, membership, bus — see
@@ -13,16 +22,24 @@ create (kernel, network, ordering, membership, bus — see
 experiment.  ``run_all``/``all`` are accepted as explicit spellings of "the
 whole suite".
 
-Exit status is non-zero if any reproduction check fails.
+Exit status is non-zero if any reproduction check fails or any experiment
+crashes.
 """
 
 from __future__ import annotations
 
+import os
 import sys
-from typing import Any, Callable, Dict, List
+import traceback
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments.harness import ExperimentResult
 from repro.obs import aggregate, capture, write_json
+
+SEPARATOR = "#" * 78
+
+#: Envelope verdicts, in severity order.
+PASS, FAIL, CRASH = "pass", "FAIL", "CRASH"
 
 
 def registry() -> Dict[str, Callable[[], ExperimentResult]]:
@@ -56,28 +73,132 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
     }
 
 
+# -- the per-experiment envelope (what a worker ships back) ---------------------
+
+
+def run_one(name: str, want_metrics: bool) -> Dict[str, Any]:
+    """Execute one experiment and wrap the outcome in a pickle-safe envelope.
+
+    The envelope carries only plain data (strings, lists, dicts of numbers)
+    so it crosses the process boundary unchanged: the rendered report, the
+    verdict, the names of unmet checks, the aggregated ``repro.obs`` metrics
+    dump (when requested), and the traceback if the experiment raised.
+    """
+    envelope: Dict[str, Any] = {
+        "name": name,
+        "verdict": CRASH,
+        "failed_checks": [],
+        "rendered": "",
+        "metrics": None,
+        "traceback": None,
+    }
+    try:
+        with capture() as registries:
+            result = registry()[name]()
+        envelope["rendered"] = result.render()
+        envelope["failed_checks"] = [
+            check for check, ok in result.checks.items() if not ok
+        ]
+        envelope["verdict"] = PASS if result.passed else FAIL
+        if want_metrics:
+            envelope["metrics"] = aggregate(registries)
+    except Exception:
+        envelope["traceback"] = traceback.format_exc()
+    return envelope
+
+
+def _dead_worker_envelope(name: str, exc: BaseException) -> Dict[str, Any]:
+    """Envelope for an experiment whose worker died before reporting (e.g. a
+    BrokenProcessPool after a hard crash — normal exceptions are caught
+    inside :func:`run_one` and never reach here)."""
+    return {
+        "name": name,
+        "verdict": CRASH,
+        "failed_checks": [],
+        "rendered": "",
+        "metrics": None,
+        "traceback": f"worker process died before reporting: {exc!r}",
+    }
+
+
+def _run_parallel(wanted: List[str], jobs: int,
+                  want_metrics: bool) -> List[Dict[str, Any]]:
+    """Fan experiments out over a process pool; merge in ``wanted`` order."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    envelopes: Dict[str, Dict[str, Any]] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {name: pool.submit(run_one, name, want_metrics)
+                   for name in wanted}
+        for name, future in futures.items():
+            try:
+                envelopes[name] = future.result()
+            except BaseException as exc:  # noqa: BLE001 - pool breakage
+                envelopes[name] = _dead_worker_envelope(name, exc)
+    return [envelopes[name] for name in wanted]
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
 def _parse_args(argv: List[str]) -> tuple:
-    """Split argv into (experiment tokens, metrics path, error)."""
+    """Split argv into (experiment tokens, metrics path, jobs, error)."""
     names: List[str] = []
     metrics_out = None
+    jobs: Optional[int] = None
     i = 0
     while i < len(argv):
         arg = argv[i]
-        if arg == "--metrics-out":
+        value = None
+        if arg in ("--metrics-out", "--jobs"):
             if i + 1 >= len(argv):
-                return [], None, "--metrics-out requires a path"
-            metrics_out = argv[i + 1]
+                return [], None, None, f"{arg} requires a value"
+            value = argv[i + 1]
             i += 2
-            continue
-        if arg.startswith("--metrics-out="):
-            metrics_out = arg.split("=", 1)[1]
+        elif arg.startswith("--metrics-out=") or arg.startswith("--jobs="):
+            arg, value = arg.split("=", 1)
+            i += 1
+        elif arg.startswith("-"):
+            return [], None, None, f"unknown option: {arg}"
+        else:
+            names.append(arg)
             i += 1
             continue
-        if arg.startswith("-"):
-            return [], None, f"unknown option: {arg}"
-        names.append(arg)
-        i += 1
-    return names, metrics_out, None
+        if arg == "--metrics-out":
+            metrics_out = value
+        else:
+            try:
+                jobs = int(value)
+            except ValueError:
+                return [], None, None, f"--jobs requires an integer, got {value!r}"
+            if jobs < 0:
+                return [], None, None, "--jobs must be >= 0"
+    return names, metrics_out, jobs, None
+
+
+def _print_report(envelopes: List[Dict[str, Any]]) -> None:
+    for envelope in envelopes:
+        if envelope["verdict"] == CRASH:
+            print(f"== {envelope['name']}: CRASHED ==")
+            print()
+            print(envelope["traceback"], end="")
+        else:
+            print(envelope["rendered"])
+        print()
+        print(SEPARATOR)
+        print()
+
+
+def _print_verdicts(envelopes: List[Dict[str, Any]]) -> None:
+    print("per-experiment verdicts:")
+    for envelope in envelopes:
+        line = f"  {envelope['name']}  {envelope['verdict']}"
+        if envelope["failed_checks"]:
+            line += "  (unmet: " + "; ".join(envelope["failed_checks"]) + ")"
+        if envelope["verdict"] == CRASH:
+            last = envelope["traceback"].strip().splitlines()[-1]
+            line += f"  ({last})"
+        print(line)
 
 
 def main(argv: List[str]) -> int:
@@ -86,7 +207,7 @@ def main(argv: List[str]) -> int:
         for name in experiments:
             print(name)
         return 0
-    tokens, metrics_out, error = _parse_args(argv)
+    tokens, metrics_out, jobs, error = _parse_args(argv)
     if error:
         print(error, file=sys.stderr)
         return 2
@@ -97,30 +218,39 @@ def main(argv: List[str]) -> int:
         print(f"unknown experiments: {unknown}; use --list", file=sys.stderr)
         return 2
 
-    failures: List[str] = []
-    metrics_by_experiment: Dict[str, Any] = {}
-    for name in wanted:
-        with capture() as registries:
-            result = experiments[name]()
-        if metrics_out is not None:
-            metrics_by_experiment[name] = aggregate(registries)
-        print(result.render())
-        print()
-        print("#" * 78)
-        print()
-        if not result.passed:
-            failures.append(name)
+    want_metrics = metrics_out is not None
+    if jobs is None:
+        envelopes = [run_one(name, want_metrics) for name in wanted]
+    else:
+        if jobs == 0:
+            jobs = os.cpu_count() or 1
+        envelopes = _run_parallel(wanted, jobs, want_metrics)
+
+    _print_report(envelopes)
+    _print_verdicts(envelopes)
+
+    failures = [e["name"] for e in envelopes if e["verdict"] == FAIL]
+    crashes = [e["name"] for e in envelopes if e["verdict"] == CRASH]
     if metrics_out is not None:
+        dumps = {e["name"]: e["metrics"] for e in envelopes
+                 if e["metrics"] is not None}
         try:
-            write_json(metrics_out, metrics_by_experiment)
+            write_json(metrics_out, dumps)
         except OSError as exc:
             print(f"cannot write metrics to {metrics_out}: {exc}", file=sys.stderr)
             return 2
-        print(f"metrics for {len(metrics_by_experiment)} experiments "
+        print(f"metrics for {len(dumps)} experiments "
               f"written to {metrics_out}")
-    print(f"ran {len(wanted)} experiments; "
-          f"{'ALL PASSED' if not failures else 'FAILED: ' + ', '.join(failures)}")
-    return 1 if failures else 0
+    status = "ALL PASSED"
+    if failures or crashes:
+        parts = []
+        if failures:
+            parts.append("FAILED: " + ", ".join(failures))
+        if crashes:
+            parts.append("CRASHED: " + ", ".join(crashes))
+        status = "; ".join(parts)
+    print(f"ran {len(wanted)} experiments; {status}")
+    return 1 if failures or crashes else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - thin CLI shim

@@ -8,6 +8,7 @@ grow quadratically with group size.
 
 from repro.ordering.lamport import LamportClock
 from repro.ordering.vector import VectorClock
+from repro.ordering.dense import ClockDomain, DenseVectorClock, bss_deliverable, group_domain
 from repro.ordering.matrix import MatrixClock
 from repro.ordering.happens_before import (
     Ordering,
@@ -20,6 +21,10 @@ from repro.ordering.causal_graph import CausalGraph
 __all__ = [
     "LamportClock",
     "VectorClock",
+    "ClockDomain",
+    "DenseVectorClock",
+    "bss_deliverable",
+    "group_domain",
     "MatrixClock",
     "Ordering",
     "compare",

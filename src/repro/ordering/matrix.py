@@ -6,12 +6,19 @@ exactly this: a message sent by ``p`` with sequence ``s`` is *stable* when
 every member's known receive vector covers ``(p, s)``.  The matrix is the
 "amount of state maintained by the communication system" whose growth
 Section 5 worries about — it is quadratic in group size by construction.
+
+Rows are dense int-indexed clocks over one private :class:`ClockDomain`
+(membership is fixed for the matrix's lifetime; a view change rebuilds the
+whole matrix), which turns the stability scan — ``min_vector`` runs on every
+ack receipt inside the transport — into flat array minima instead of N^2
+dict lookups.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping
 
+from repro.ordering.dense import ClockDomain, DenseVectorClock
 from repro.ordering.vector import VectorClock
 
 
@@ -20,19 +27,28 @@ class MatrixClock:
 
     def __init__(self, pids: Iterable[str]) -> None:
         self._pids = list(pids)
-        self._rows: Dict[str, VectorClock] = {
-            pid: VectorClock.zero(self._pids) for pid in self._pids
+        self._domain = ClockDomain(tuple(self._pids))
+        self._rows: Dict[str, DenseVectorClock] = {
+            pid: self._domain.zero() for pid in self._pids
         }
 
     @property
     def pids(self):
         return tuple(self._pids)
 
-    def row(self, pid: str) -> VectorClock:
+    @property
+    def domain(self) -> ClockDomain:
+        return self._domain
+
+    def make_clock(self, counts: Mapping[str, int]) -> DenseVectorClock:
+        """A dense clock in this matrix's domain (fast-path ``update_row``)."""
+        return self._domain.clock(counts)
+
+    def row(self, pid: str) -> DenseVectorClock:
         """The vector clock we believe ``pid`` has reached."""
         return self._rows[pid]
 
-    def update_row(self, pid: str, clock: VectorClock) -> None:
+    def update_row(self, pid: str, clock) -> None:
         """Merge fresher knowledge about ``pid``'s progress.
 
         Unknown observers are ignored: after a membership change, straggler
@@ -47,7 +63,7 @@ class MatrixClock:
         """Record that ``observer`` has seen ``subject``'s first ``count`` events."""
         row = self._rows.get(observer)
         if row is not None and count > row[subject]:
-            row.merge_in(VectorClock({subject: count}))
+            row.advance(subject, count)
 
     def min_vector(self) -> VectorClock:
         """Componentwise minimum over all rows: events known seen by *everyone*.
@@ -57,10 +73,18 @@ class MatrixClock:
         """
         if not self._pids:
             return VectorClock()
-        mins: Dict[str, int] = {}
-        for subject in self._pids:
-            mins[subject] = min(self._rows[observer][subject] for observer in self._pids)
-        return VectorClock(mins)
+        rows = [self._rows[observer]._counts for observer in self._pids]
+        width = len(self._pids)  # subjects occupy the first N domain slots
+        mins = list(rows[0][:width])
+        if len(mins) < width:
+            mins.extend([0] * (width - len(mins)))
+        for counts in rows[1:]:
+            n = len(counts)
+            for i in range(width):
+                value = counts[i] if i < n else 0
+                if value < mins[i]:
+                    mins[i] = value
+        return VectorClock(dict(zip(self._domain.pids, mins)))
 
     def stable(self, sender: str, seq: int) -> bool:
         """True iff message ``seq`` from ``sender`` is known received by all."""

@@ -35,6 +35,10 @@ class VectorClock:
     def copy(self) -> "VectorClock":
         return VectorClock(self._counts)
 
+    def stamped(self, pid: str) -> "VectorClock":
+        """A send timestamp: this clock with ``pid`` ticked, as a new clock."""
+        return self.copy().tick(pid)
+
     # -- access --------------------------------------------------------------
 
     def __getitem__(self, pid: str) -> int:
@@ -59,6 +63,12 @@ class VectorClock:
         self._counts[pid] = self._counts.get(pid, 0) + 1
         return self
 
+    def advance(self, pid: str, count: int) -> "VectorClock":
+        """Raise ``pid``'s component to at least ``count`` (single-entry merge)."""
+        if count > self._counts.get(pid, 0):
+            self._counts[pid] = count
+        return self
+
     def merge_in(self, other: "VectorClock") -> "VectorClock":
         """Componentwise max with ``other`` (the receive-event rule)."""
         for pid, count in other.items():
@@ -72,17 +82,21 @@ class VectorClock:
     # -- comparison (the happens-before partial order) ------------------------
 
     def __eq__(self, other: object) -> bool:
-        if not isinstance(other, VectorClock):
+        # Any clock implementation works as ``other``: iterating a clock
+        # yields its tracked pids (the dense representation included).
+        if not hasattr(other, "items") or not hasattr(other, "__getitem__"):
             return NotImplemented
-        pids = set(self._counts) | set(other._counts)
-        return all(self[p] == other[p] for p in pids)
+        pids = set(self._counts)
+        pids.update(other)  # type: ignore[arg-type]
+        return all(self[p] == other[p] for p in pids)  # type: ignore[index]
 
     def __hash__(self) -> int:
         return hash(frozenset((p, c) for p, c in self._counts.items() if c))
 
     def __le__(self, other: "VectorClock") -> bool:
         """True iff every component of self is <= other's."""
-        pids = set(self._counts) | set(other._counts)
+        pids = set(self._counts)
+        pids.update(other)
         return all(self[p] <= other[p] for p in pids)
 
     def __lt__(self, other: "VectorClock") -> bool:

@@ -243,7 +243,12 @@ class ReplicatedStoreClient(Process):
         if not targets:
             self._complete(pending, "failed")
             return write_id
-        for replica in targets:
+        # Iterate the availability *list*, not the target set: set order is
+        # hash-randomised, and each send draws a jitter sample from the
+        # simulator RNG, so a hash-dependent send order would make per-link
+        # latencies differ between processes (breaking the byte-identical
+        # parallel experiment runs).
+        for replica in self.availability:
             self.send(replica, RepPrepare(write_id=write_id, key=key, value=value, client=self.pid))
         self.set_timer(self.vote_timeout, self._vote_deadline, write_id)
         return write_id
@@ -253,7 +258,7 @@ class ReplicatedStoreClient(Process):
         if pending is None or pending.decided:
             return
         # Drop non-voters from the availability list and commit with the rest.
-        silent = pending.targets - pending.votes
+        silent = sorted(pending.targets - pending.votes)
         for replica in silent:
             self._drop_replica(replica)
         self._decide(pending)
@@ -265,7 +270,7 @@ class ReplicatedStoreClient(Process):
             self._complete(pending, "failed")
             return
         pending.committed_to = tuple(sorted(voters))
-        for replica in voters:
+        for replica in pending.committed_to:
             self.send(replica, RepDecision(write_id=pending.write_id, commit=True))
         if self.ack_on_prepared:
             # Durable at every listed replica: answer the client now.

@@ -1,0 +1,190 @@
+"""The performance ledger: workloads, record numbering, regression gating."""
+
+import json
+
+import pytest
+
+from repro.bench import ledger, workloads
+from repro.bench.cli import main as bench_main
+
+
+def _record(metrics, **extra):
+    return {
+        "schema": ledger.SCHEMA,
+        "created_at": "2026-01-01T00:00:00Z",
+        "python": "3.x",
+        "platform": "test",
+        "cpu_count": 1,
+        "metrics": metrics,
+        **extra,
+    }
+
+
+BASE_METRICS = {
+    "kernel_events_per_sec": 100_000.0,
+    "network_msgs_per_sec": 50_000.0,
+    "multicast_us_per_delivery": {"raw": 10.0, "causal": 30.0},
+    "clock_compare_ns": {"dict": 20_000.0, "dense": 9_000.0},
+    "clock_stamp_ns": {"dict": 1000.0, "dense": 800.0},
+    "suite": {"sequential_s": 30.0, "parallel_s": 12.0, "jobs": 4,
+              "speedup": 2.5},
+}
+
+
+# -- workloads ---------------------------------------------------------------------
+
+
+def test_workloads_produce_positive_numbers():
+    assert workloads.kernel_events_per_sec(events=2000, repeats=1) > 0
+    assert workloads.network_msgs_per_sec(msgs=500, repeats=1) > 0
+
+
+def test_multicast_workload_covers_every_discipline():
+    out = workloads.multicast_us_per_delivery(members=3, msgs=9, repeats=1)
+    assert set(out) == {"raw", "fifo", "causal", "total-seq", "total-agreed"}
+    assert all(v > 0 for v in out.values())
+
+
+def test_clock_workloads_time_both_representations():
+    compare = workloads.clock_compare_ns(size=8, iterations=50, repeats=1)
+    stamp = workloads.clock_stamp_ns(size=8, iterations=50, repeats=1)
+    assert set(compare) == set(stamp) == {"dict", "dense"}
+    assert all(v > 0 for v in list(compare.values()) + list(stamp.values()))
+
+
+# -- ledger read/write/numbering ---------------------------------------------------
+
+
+def test_records_number_sequentially(tmp_path):
+    directory = str(tmp_path)
+    assert ledger.next_index(directory) == 1
+    first = ledger.write_record(_record(BASE_METRICS), directory)
+    second = ledger.write_record(_record(BASE_METRICS), directory)
+    assert first.endswith("BENCH_1.json")
+    assert second.endswith("BENCH_2.json")
+    assert ledger.next_index(directory) == 3
+    assert ledger.latest_records(directory) == [first, second]
+    assert ledger.load_record(second)["index"] == 2
+
+
+def test_numbering_survives_gaps(tmp_path):
+    (tmp_path / "BENCH_7.json").write_text(
+        json.dumps(_record(BASE_METRICS, index=7)))
+    assert ledger.next_index(str(tmp_path)) == 8
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "BENCH_1.json"
+    path.write_text(json.dumps({"schema": "something/else"}))
+    with pytest.raises(ValueError, match="expected schema"):
+        ledger.load_record(str(path))
+
+
+# -- comparison --------------------------------------------------------------------
+
+
+def test_compare_flags_throughput_drop():
+    worse = json.loads(json.dumps(BASE_METRICS))
+    worse["kernel_events_per_sec"] = 60_000.0  # -40%, beyond 25%
+    rows = ledger.compare_records(
+        _record(BASE_METRICS), _record(worse), threshold=0.25)
+    by_metric = {row["metric"]: row for row in rows}
+    assert by_metric["kernel_events_per_sec"]["regressed"]
+    assert not by_metric["clock_compare_ns.dense"]["regressed"]
+
+
+def test_compare_flags_latency_rise_but_not_improvement():
+    changed = json.loads(json.dumps(BASE_METRICS))
+    changed["clock_compare_ns"]["dense"] = 18_000.0  # 2x slower: regression
+    changed["kernel_events_per_sec"] = 500_000.0     # 5x faster: fine
+    rows = ledger.compare_records(
+        _record(BASE_METRICS), _record(changed), threshold=0.25)
+    by_metric = {row["metric"]: row for row in rows}
+    assert by_metric["clock_compare_ns.dense"]["regressed"]
+    assert not by_metric["kernel_events_per_sec"]["regressed"]
+
+
+def test_compare_threshold_is_respected():
+    worse = json.loads(json.dumps(BASE_METRICS))
+    worse["kernel_events_per_sec"] = 85_000.0  # -15%
+    base = _record(BASE_METRICS)
+    loose = ledger.compare_records(base, _record(worse), threshold=0.25)
+    tight = ledger.compare_records(base, _record(worse), threshold=0.10)
+    assert not any(row["regressed"] for row in loose)
+    assert any(row["regressed"] for row in tight)
+
+
+def test_compare_skips_metrics_missing_from_either_side():
+    thin = {"kernel_events_per_sec": 100_000.0}
+    rows = ledger.compare_records(_record(thin), _record(BASE_METRICS))
+    assert [row["metric"] for row in rows] == ["kernel_events_per_sec"]
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+def _write_pair(tmp_path, candidate_metrics):
+    ledger.write_record(_record(BASE_METRICS), str(tmp_path))
+    ledger.write_record(_record(candidate_metrics), str(tmp_path))
+
+
+def test_cli_compare_ok(tmp_path, capsys):
+    _write_pair(tmp_path, BASE_METRICS)
+    assert bench_main(["compare", "--out-dir", str(tmp_path)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_cli_compare_fails_on_regression(tmp_path, capsys):
+    worse = json.loads(json.dumps(BASE_METRICS))
+    worse["suite"]["sequential_s"] = 90.0
+    _write_pair(tmp_path, worse)
+    assert bench_main(["compare", "--out-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "suite.sequential_s" in out
+
+
+def test_cli_compare_warn_only_exits_zero(tmp_path, capsys):
+    worse = json.loads(json.dumps(BASE_METRICS))
+    worse["suite"]["sequential_s"] = 90.0
+    _write_pair(tmp_path, worse)
+    assert bench_main(
+        ["compare", "--out-dir", str(tmp_path), "--warn-only"]) == 0
+    assert "WARNING" in capsys.readouterr().out
+
+
+def test_cli_compare_with_no_records_is_non_blocking(tmp_path, capsys):
+    assert bench_main(["compare", "--out-dir", str(tmp_path)]) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+
+
+def test_cli_compare_explicit_paths(tmp_path):
+    base = ledger.write_record(_record(BASE_METRICS), str(tmp_path))
+    worse = json.loads(json.dumps(BASE_METRICS))
+    worse["network_msgs_per_sec"] = 1000.0
+    cand = ledger.write_record(_record(worse), str(tmp_path))
+    assert bench_main(
+        ["compare", "--baseline", base, "--candidate", cand]) == 1
+    assert bench_main(
+        ["compare", "--baseline", base, "--candidate", base]) == 0
+
+
+def test_cli_run_writes_next_record(tmp_path, capsys, monkeypatch):
+    # Stub the timed workloads: this test is about record plumbing, not speed.
+    monkeypatch.setattr(
+        workloads, "kernel_events_per_sec", lambda repeats: 1.0)
+    monkeypatch.setattr(
+        workloads, "network_msgs_per_sec", lambda repeats: 2.0)
+    monkeypatch.setattr(
+        workloads, "multicast_us_per_delivery", lambda repeats: {"raw": 3.0})
+    monkeypatch.setattr(
+        workloads, "clock_compare_ns", lambda repeats: {"dict": 4.0, "dense": 2.0})
+    monkeypatch.setattr(
+        workloads, "clock_stamp_ns", lambda repeats: {"dict": 5.0, "dense": 3.0})
+    status = bench_main(
+        ["run", "--out-dir", str(tmp_path), "--skip-suite", "--repeats", "1"])
+    assert status == 0
+    assert "wrote" in capsys.readouterr().out
+    record = ledger.load_record(str(tmp_path / "BENCH_1.json"))
+    assert record["schema"] == ledger.SCHEMA
+    assert record["metrics"]["kernel_events_per_sec"] == 1.0
+    assert "suite" not in record["metrics"]

@@ -1,0 +1,176 @@
+"""The parallel experiment engine: determinism and failure reporting.
+
+Two guarantees are load-bearing:
+
+1. ``--jobs N`` output (report text *and* ``--metrics-out`` JSON) is
+   byte-identical to a sequential run — parallelism is an execution detail,
+   never an observable.
+2. A failing or crashing experiment is reported per-experiment — name,
+   verdict, unmet checks or traceback — in both the sequential and the
+   parallel path, and poisons the exit status without hiding the rest of
+   the suite.
+"""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.experiments import run_all
+from repro.experiments.harness import ExperimentResult, Table
+
+
+def _run_main(argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        status = run_all.main(argv)
+    return status, out.getvalue()
+
+
+# -- fake experiments (module-level so fork-started pool workers see them) ---------
+
+
+def _fake_pass():
+    table = Table("t", ["x"])
+    table.add_row(1)
+    return ExperimentResult("E01", "fake pass", [table], checks={"shape": True})
+
+
+def _fake_fail():
+    return ExperimentResult(
+        "E02", "fake fail", [],
+        checks={"monotone latency": False, "linear growth": True},
+    )
+
+
+def _fake_crash():
+    raise RuntimeError("simulated experiment crash")
+
+
+FAKE_REGISTRY = {"E01": _fake_pass, "E02": _fake_fail, "E03": _fake_crash}
+
+
+@pytest.fixture
+def fake_registry(monkeypatch):
+    # Patching the parent's module is enough for the parallel path too: the
+    # pool forks workers at submit time, after the patch is in place.
+    monkeypatch.setattr(run_all, "registry", lambda: dict(FAKE_REGISTRY))
+
+
+# -- determinism -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", ["1", "4"])
+def test_parallel_report_identical_to_sequential(tmp_path, jobs):
+    subset = ["E01", "E03", "E10"]
+    seq_metrics = tmp_path / "seq.json"
+    par_metrics = tmp_path / "par.json"
+
+    seq_status, seq_out = _run_main(
+        subset + ["--metrics-out", str(seq_metrics)])
+    par_status, par_out = _run_main(
+        subset + ["--jobs", jobs, "--metrics-out", str(par_metrics)])
+
+    assert seq_status == par_status == 0
+    assert par_out.replace(str(par_metrics), str(seq_metrics)) == seq_out
+    assert par_metrics.read_bytes() == seq_metrics.read_bytes()
+
+
+def test_parallel_merges_in_registry_order():
+    # Submission order reversed from report order: merge must re-sort.
+    _, out = _run_main(["E10", "E01", "--jobs", "2"])
+    assert out.index("== E10") < out.index("== E01")
+
+
+def test_jobs_zero_means_cpu_count(monkeypatch):
+    calls = {}
+
+    def fake_parallel(wanted, jobs, want_metrics):
+        calls["jobs"] = jobs
+        return [run_all.run_one(name, want_metrics) for name in wanted]
+
+    monkeypatch.setattr(run_all, "_run_parallel", fake_parallel)
+    status, _ = _run_main(["E01", "--jobs", "0"])
+    assert status == 0
+    import os
+    assert calls["jobs"] == (os.cpu_count() or 1)
+
+
+# -- failure and crash reporting ---------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs_args", [[], ["--jobs", "2"]])
+def test_failures_and_crashes_reported_per_experiment(fake_registry, jobs_args):
+    status, out = _run_main(["E01", "E02", "E03"] + jobs_args)
+    assert status == 1
+    # the failing experiment names its unmet checks
+    assert "  E02  FAIL  (unmet: monotone latency)" in out
+    # the crashed experiment prints its traceback in the report body...
+    assert "== E03: CRASHED ==" in out
+    assert "RuntimeError: simulated experiment crash" in out
+    # ...and a one-line cause in the verdict table
+    assert "  E03  CRASH  (RuntimeError: simulated experiment crash)" in out
+    # the healthy experiment still ran and passed
+    assert "  E01  pass" in out
+    assert "FAILED: E02; CRASHED: E03" in out
+
+
+def test_all_passing_suite_exits_zero(fake_registry):
+    status, out = _run_main(["E01"])
+    assert status == 0
+    assert "ran 1 experiments; ALL PASSED" in out
+
+
+def test_crash_skips_metrics_but_not_others(fake_registry, tmp_path):
+    metrics = tmp_path / "m.json"
+    status, out = _run_main(
+        ["E01", "E03", "--jobs", "2", "--metrics-out", str(metrics)])
+    assert status == 1
+    import json
+    dumps = json.loads(metrics.read_text())["experiments"]
+    assert "E01" in dumps and "E03" not in dumps
+
+
+def test_dead_worker_is_reported_as_crash(monkeypatch):
+    class ExplodingFuture:
+        def result(self):
+            raise RuntimeError("pool broke")
+
+    class FakePool:
+        def __init__(self, max_workers):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def submit(self, fn, *args):
+            return ExplodingFuture()
+
+    import concurrent.futures
+    monkeypatch.setattr(
+        concurrent.futures, "ProcessPoolExecutor", FakePool)
+    envelopes = run_all._run_parallel(["E01"], 2, want_metrics=False)
+    assert envelopes[0]["verdict"] == run_all.CRASH
+    assert "worker process died" in envelopes[0]["traceback"]
+
+
+# -- argument handling -------------------------------------------------------------
+
+
+def test_jobs_requires_integer():
+    status, _ = _run_main(["--jobs", "many"])
+    assert status == 2
+
+
+def test_jobs_rejects_negative():
+    status, _ = _run_main(["--jobs", "-1"])
+    assert status == 2
+
+
+def test_jobs_equals_form_accepted():
+    status, out = _run_main(["E01", "--jobs=2"])
+    assert status == 0
+    assert "ran 1 experiments; ALL PASSED" in out

@@ -1,0 +1,216 @@
+"""Unit and property tests for the dense (int-indexed) clock representation.
+
+The headline property: over arbitrary event histories, a dense clock and a
+dict clock fed the same operations agree on every observable — compare,
+dominance, merge results, equality, hashing, and the BSS deliverability
+predicate.  The dense representation is a hot-path optimisation, not a
+semantic change.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import ClockDomain, DenseVectorClock, VectorClock
+from repro.ordering.dense import bss_deliverable, group_domain
+
+PIDS = ["p", "q", "r", "s"]
+
+counts_strategy = st.dictionaries(
+    st.sampled_from(PIDS), st.integers(min_value=0, max_value=20)
+)
+
+
+def dense(counts):
+    return ClockDomain(tuple(PIDS)).clock(counts)
+
+
+# -- unit: domain bookkeeping ------------------------------------------------------
+
+
+def test_domain_assigns_stable_indices():
+    domain = ClockDomain(("a", "b"))
+    assert domain.index("a") == 0 and domain.index("b") == 1
+    assert domain.ensure("c") == 2
+    assert domain.ensure("a") == 0  # re-ensure never moves a pid
+    assert "c" in domain and "d" not in domain
+    assert domain.index("d") is None
+
+
+def test_group_domain_is_shared_per_sim_and_group():
+    class Sim:
+        pass
+
+    sim = Sim()
+    d1 = group_domain(sim, "g", ("a", "b"))
+    d2 = group_domain(sim, "g", ("b", "c"))
+    assert d1 is d2
+    assert d1.pids == ["a", "b", "c"]
+    assert group_domain(sim, "other", ("a",)) is not d1
+
+
+def test_group_domain_survives_slotted_sims():
+    class Slotted:
+        __slots__ = ()
+
+    domain = group_domain(Slotted(), "g", ("a",))
+    assert domain.index("a") == 0  # private fallback, still functional
+
+
+def test_older_clock_valid_after_domain_grows():
+    domain = ClockDomain(("a", "b"))
+    old = domain.zero().tick("a")
+    domain.ensure("c")  # a joiner extends the domain
+    new = domain.zero().tick("c")
+    assert old["c"] == 0 and new["a"] == 0
+    assert old.concurrent_with(new)
+    assert old.merged(new).as_dict() == {"a": 1, "c": 1}
+
+
+# -- unit: snapshot semantics ------------------------------------------------------
+
+
+def test_copy_is_a_frozen_snapshot():
+    domain = ClockDomain(("a", "b"))
+    vc = domain.zero().tick("a")
+    snap = vc.copy()
+    vc.tick("a")
+    assert snap["a"] == 1 and vc["a"] == 2
+    snap.tick("b")
+    assert vc["b"] == 0 and snap["b"] == 1
+
+
+def test_stamped_does_not_alias_the_source():
+    domain = ClockDomain(("a", "b"))
+    delivered = domain.zero()
+    stamp = delivered.stamped("a")
+    assert stamp["a"] == 1 and delivered["a"] == 0
+    delivered.advance("a", 5)
+    assert stamp["a"] == 1
+
+
+def test_as_dict_drops_zero_entries():
+    domain = ClockDomain(("a", "b", "c"))
+    assert domain.zero().tick("b").as_dict() == {"b": 1}
+
+
+def test_size_bytes_covers_whole_domain():
+    domain = ClockDomain(("p", "quux"))
+    assert domain.zero().size_bytes() == (8 + 1) + (8 + 4)
+
+
+# -- unit: cross-representation interop --------------------------------------------
+
+
+def test_dense_equals_dict_with_same_counts():
+    d = dense({"p": 2, "q": 1})
+    v = VectorClock({"p": 2, "q": 1})
+    assert d == v and v == d
+    assert hash(d) == hash(v)
+
+
+def test_mixed_comparison_and_merge():
+    d = dense({"p": 1})
+    v = VectorClock({"p": 2, "q": 1})
+    assert d < v and v > d
+    assert d.merged(v).as_dict() == {"p": 2, "q": 1}
+    assert v.merged(d).as_dict() == {"p": 2, "q": 1}
+
+
+def test_cross_domain_dense_comparison_falls_back():
+    a = ClockDomain(("p", "q")).clock({"p": 1})
+    b = ClockDomain(("q", "p")).clock({"p": 1})  # different index order
+    assert a == b and a <= b and b <= a
+
+
+def test_comparison_with_non_clock_is_not_implemented():
+    assert dense({"p": 1}).__eq__(42) is NotImplemented
+    assert dense({"p": 1}) != 42
+
+
+# -- unit: BSS deliverability ------------------------------------------------------
+
+
+def test_bss_deliverable_dense_fast_path():
+    domain = ClockDomain(("a", "b"))
+    delivered = domain.clock({"a": 2, "b": 1})
+    assert bss_deliverable(domain.clock({"a": 3}), delivered, "a")
+    assert not bss_deliverable(domain.clock({"a": 4}), delivered, "a")  # gap
+    assert not bss_deliverable(
+        domain.clock({"a": 3, "b": 2}), delivered, "a")  # missing dep from b
+    assert bss_deliverable(domain.clock({"a": 3, "b": 1}), delivered, "a")
+
+
+@given(counts_strategy, counts_strategy, st.sampled_from(PIDS))
+def test_bss_agrees_across_representations(vc_counts, seen_counts, sender):
+    dense_result = bss_deliverable(
+        dense(vc_counts), dense(seen_counts), sender)
+    dict_result = bss_deliverable(
+        VectorClock(vc_counts), VectorClock(seen_counts), sender)
+    assert dense_result == dict_result
+
+
+# -- property: dense and dict agree on compare / dominates / merge -----------------
+
+
+@given(counts_strategy, counts_strategy)
+def test_representations_agree_on_compare(a_counts, b_counts):
+    da, db = dense(a_counts), dense(b_counts)
+    va, vb = VectorClock(a_counts), VectorClock(b_counts)
+    assert (da == db) == (va == vb)
+    assert (da <= db) == (va <= vb)
+    assert (da < db) == (va < vb)
+    assert (da >= db) == (va >= vb)
+    assert da.concurrent_with(db) == va.concurrent_with(vb)
+    # mixed-representation comparisons agree too
+    assert (da <= vb) == (va <= vb)
+    assert (va <= db) == (va <= vb)
+
+
+@given(counts_strategy, counts_strategy)
+def test_representations_agree_on_merge(a_counts, b_counts):
+    merged_dense = dense(a_counts).merged(dense(b_counts))
+    merged_dict = VectorClock(a_counts).merged(VectorClock(b_counts))
+    assert merged_dense == merged_dict
+    assert merged_dense.as_dict() == {
+        pid: count for pid, count in merged_dict.as_dict().items() if count
+    }
+
+
+#: One simulated event: (actor index, kind) where kind 0=tick, 1=merge-from,
+#: 2=advance.  Both representations replay the identical history.
+events_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+        st.sampled_from(PIDS),
+        st.integers(min_value=0, max_value=12),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60)
+@given(events_strategy)
+def test_representations_agree_over_random_histories(events):
+    domain = ClockDomain(tuple(PIDS))
+    dense_clocks = [domain.zero() for _ in range(3)]
+    dict_clocks = [VectorClock.zero(PIDS) for _ in range(3)]
+    for actor, kind, pid, value in events:
+        if kind == 0:
+            dense_clocks[actor].tick(pid)
+            dict_clocks[actor].tick(pid)
+        elif kind == 1:
+            other = (actor + 1) % 3
+            dense_clocks[actor].merge_in(dense_clocks[other].copy())
+            dict_clocks[actor].merge_in(dict_clocks[other].copy())
+        else:
+            dense_clocks[actor].advance(pid, value)
+            dict_clocks[actor].advance(pid, value)
+    for i in range(3):
+        assert dense_clocks[i] == dict_clocks[i], (
+            dense_clocks[i], dict_clocks[i])
+        for j in range(3):
+            assert (dense_clocks[i] <= dense_clocks[j]) == \
+                (dict_clocks[i] <= dict_clocks[j])
+            assert dense_clocks[i].concurrent_with(dense_clocks[j]) == \
+                dict_clocks[i].concurrent_with(dict_clocks[j])
