@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.catocs.member import GroupMember
+from repro.catocs import build_member
 from repro.sim.clock import ClockSyncService, LocalClock, make_skewed_clocks
 from repro.sim.kernel import Simulator
 from repro.sim.network import LinkModel, Network
@@ -95,12 +95,12 @@ def run_firealarm(
             )
         )
 
-    furnace = GroupMember(sim, net, "P", group="alarm", members=group,
-                          ordering=ordering, trace=trace)
-    observer = GroupMember(sim, net, "Q", group="alarm", members=group,
-                           ordering=ordering, on_deliver=observe, trace=trace)
-    monitor = GroupMember(sim, net, "R", group="alarm", members=group,
-                          ordering=ordering, trace=trace)
+    furnace = build_member(sim, net, "P", group="alarm", members=group,
+                           ordering=ordering, trace=trace)
+    observer = build_member(sim, net, "Q", group="alarm", members=group,
+                            ordering=ordering, on_deliver=observe, trace=trace)
+    monitor = build_member(sim, net, "R", group="alarm", members=group,
+                           ordering=ordering, trace=trace)
 
     # R (the monitor) is slow to everyone: its "fire out" straggles behind
     # the furnace's reports, and crucially P multicasts the second "fire"

@@ -28,7 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.catocs import HeartbeatDetector, ViewManager
+from repro.catocs import build_member
 from repro.catocs.member import GroupMember
 from repro.sim.failure import FailureInjector
 from repro.sim.kernel import Simulator
@@ -143,15 +143,13 @@ def run_oven(
     ordering = "causal" if design == "catocs" else "raw"
     members: Dict[str, GroupMember] = {}
     for pid in group:
-        member = GroupMember(
+        members[pid] = build_member(
             sim, net, pid, group="oven", members=group, ordering=ordering,
             on_deliver=monitor_deliver if pid == "monitor" else None,
             nak_delay=8.0, ack_period=25.0,
+            with_membership=design == "catocs",
+            heartbeat_period=10.0, heartbeat_timeout=35.0,
         )
-        if design == "catocs":
-            detector = HeartbeatDetector(member, period=10.0, timeout=35.0)
-            ViewManager(member, detector)
-        members[pid] = member
 
     sent = {"n": 0}
 

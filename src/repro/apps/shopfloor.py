@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.catocs import build_member
 from repro.catocs.member import GroupMember
 from repro.sim.kernel import Simulator
 from repro.sim.network import LinkModel, Network
@@ -147,7 +148,7 @@ def run_shopfloor(
                            version=payload["version"])
         )
 
-    observer = GroupMember(
+    observer = build_member(
         sim, net, "clientB", group="sfc", members=group,
         ordering=ordering, on_deliver=observe, trace=trace,
     )

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.catocs import build_member
 from repro.catocs.member import GroupMember
 from repro.sim.kernel import Simulator
 from repro.sim.network import LinkModel, Network
@@ -84,9 +85,9 @@ def run_thread_channel(
                                      version=payload["version"]))
 
     server = MultiThreadedServer(sim, net, "server", group)
-    observer = GroupMember(sim, net, "observer", group="mtserver",
-                           members=group, ordering="causal",
-                           on_deliver=observe)
+    observer = build_member(sim, net, "observer", group="mtserver",
+                            members=group, ordering="causal",
+                            on_deliver=observe)
 
     # Thread 1 handles "start", thread 2 handles "stop", 2ms apart in memory
     # but inverted on the wire by scheduling.

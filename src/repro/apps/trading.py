@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.catocs.member import GroupMember
+from repro.catocs import build_member
 from repro.sim.kernel import Simulator
 from repro.sim.network import LinkModel, Network
 from repro.sim.trace import EventTrace
@@ -128,8 +128,8 @@ def run_trading(
         if option is not None and theo is not None and theo.value <= option.value:
             fixed_crossings += 1
 
-    monitor = GroupMember(sim, net, "monitor", group="floor", members=group,
-                          ordering=ordering, on_deliver=monitor_deliver, trace=trace)
+    monitor = build_member(sim, net, "monitor", group="floor", members=group,
+                           ordering=ordering, on_deliver=monitor_deliver, trace=trace)
 
     # -- theoretical pricer ---------------------------------------------------------
     theo_version = {"n": 0}
@@ -154,10 +154,10 @@ def run_trading(
 
         sim.call_later(compute_delay, publish)
 
-    theo_pricer = GroupMember(sim, net, "theo-pricer", group="floor", members=group,
-                              ordering=ordering, on_deliver=theo_deliver, trace=trace)
-    option_pricer = GroupMember(sim, net, "option-pricer", group="floor", members=group,
-                                ordering=ordering, trace=trace)
+    theo_pricer = build_member(sim, net, "theo-pricer", group="floor", members=group,
+                               ordering=ordering, on_deliver=theo_deliver, trace=trace)
+    option_pricer = build_member(sim, net, "option-pricer", group="floor", members=group,
+                                 ordering=ordering, trace=trace)
 
     # Theoretical pricer is slow to everyone (keeping its output concurrent
     # with the next option tick rather than causally prior to it).

@@ -31,6 +31,8 @@ GATED_METRICS: Dict[str, bool] = {
     "multicast_us_per_delivery.causal": False,
     "multicast_us_per_delivery.total-seq": False,
     "multicast_us_per_delivery.total-agreed": False,
+    "multicast_us_per_delivery.hybrid-causal": False,
+    "multicast_us_per_delivery.batched-causal": False,
     "clock_compare_ns.dense": False,
     "clock_stamp_ns.dense": False,
     "suite.sequential_s": False,

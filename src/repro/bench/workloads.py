@@ -86,10 +86,15 @@ def multicast_us_per_delivery(
 
     The paper's Section 5 overhead claims are about exactly these protocol
     stacks; this is the end-to-end cost of pushing one message through
-    transport + ordering + delivery in each of them.
+    transport + ordering + delivery in each of them.  The two composed
+    stacks added by the layer refactor (``hybrid-causal``, sender retention
+    instead of stability gossip; ``batched-causal``, same-tick coalescing)
+    are timed alongside the five classic disciplines so the ledger tracks
+    their overhead too (see docs/ARCHITECTURE.md).
     """
     out: Dict[str, float] = {}
-    for ordering in ("raw", "fifo", "causal", "total-seq", "total-agreed"):
+    for ordering in ("raw", "fifo", "causal", "total-seq", "total-agreed",
+                     "hybrid-causal", "batched-causal"):
 
         def run(ordering: str = ordering) -> None:
             sim = Simulator(seed=1)

@@ -7,6 +7,10 @@ and ISIS agreed-order) delivery disciplines; atomic-delivery buffering with
 matrix-clock stability tracking; heartbeat failure detection; and
 view-synchronous membership with flush.
 
+Every member runs a composable protocol stack (:mod:`repro.catocs.stack`):
+``ordering`` accepts a discipline alias (``"causal"``) or a full spec such
+as ``"dedup|batch|stability|causal"``.  See ``docs/ARCHITECTURE.md``.
+
 Quick start::
 
     from repro.catocs import build_group
@@ -25,6 +29,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.catocs.failure_detector import HeartbeatDetector
+from repro.catocs.hybrid import HybridCausalOrdering
 from repro.catocs.member import (
     DeliveryRecord,
     GroupInstrumentation,
@@ -42,7 +47,18 @@ from repro.catocs.ordering_layers import (
     TotalSequencerOrdering,
     make_ordering,
 )
-from repro.catocs.transport import GroupTransport
+from repro.catocs.stack import (
+    DISCIPLINES,
+    BatchLayer,
+    ProtocolLayer,
+    ProtocolStack,
+    build_stack,
+    discipline_override,
+    register_layer,
+    resolve_spec,
+    set_discipline_override,
+)
+from repro.catocs.transport import DedupRepairLayer, GroupTransport, StabilityLayer
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.sim.trace import EventTrace
@@ -61,12 +77,73 @@ __all__ = [
     "RawOrdering",
     "FifoOrdering",
     "CausalOrdering",
+    "HybridCausalOrdering",
     "TotalSequencerOrdering",
     "TotalAgreedOrdering",
     "ORDERINGS",
     "make_ordering",
+    "ProtocolLayer",
+    "ProtocolStack",
+    "BatchLayer",
+    "DedupRepairLayer",
+    "StabilityLayer",
+    "DISCIPLINES",
+    "register_layer",
+    "resolve_spec",
+    "build_stack",
+    "set_discipline_override",
+    "discipline_override",
     "build_group",
+    "build_member",
 ]
+
+
+def build_member(
+    sim: Simulator,
+    network: Network,
+    pid: str,
+    group: str,
+    members: Sequence[str],
+    ordering: str = "causal",
+    on_deliver: Optional[Callable] = None,
+    with_membership: bool = False,
+    instrumentation: Optional[GroupInstrumentation] = None,
+    trace: Optional[EventTrace] = None,
+    nak_delay: float = 5.0,
+    ack_period: float = 20.0,
+    heartbeat_period: float = 10.0,
+    heartbeat_timeout: float = 35.0,
+    piggyback_causal: bool = False,
+    stack: Optional[str] = None,
+) -> GroupMember:
+    """Construct one group member through the shared stack factory.
+
+    The single construction path every app, experiment, and ``build_group``
+    goes through — so the ``--discipline`` override and stack specs apply
+    uniformly.  ``on_deliver`` here is the member's callback itself (not a
+    factory; see :func:`build_group` for the whole-group form).
+    """
+    member = GroupMember(
+        sim,
+        network,
+        pid,
+        group=group,
+        members=members,
+        ordering=ordering,
+        on_deliver=on_deliver,
+        nak_delay=nak_delay,
+        ack_period=ack_period,
+        instrumentation=instrumentation,
+        trace=trace,
+        piggyback_causal=piggyback_causal,
+        stack=stack,
+    )
+    if with_membership:
+        detector = HeartbeatDetector(
+            member, period=heartbeat_period, timeout=heartbeat_timeout
+        )
+        ViewManager(member, detector)
+    return member
 
 
 def build_group(
@@ -84,6 +161,7 @@ def build_group(
     heartbeat_period: float = 10.0,
     heartbeat_timeout: float = 35.0,
     piggyback_causal: bool = False,
+    stack: Optional[str] = None,
 ) -> Dict[str, GroupMember]:
     """Construct every member of one process group.
 
@@ -95,7 +173,7 @@ def build_group(
     members: Dict[str, GroupMember] = {}
     for pid in pids:
         callback = on_deliver(pid) if on_deliver is not None else None
-        member = GroupMember(
+        members[pid] = build_member(
             sim,
             network,
             pid,
@@ -103,16 +181,14 @@ def build_group(
             members=pids,
             ordering=ordering,
             on_deliver=callback,
-            nak_delay=nak_delay,
-            ack_period=ack_period,
+            with_membership=with_membership,
             instrumentation=instrumentation,
             trace=trace,
+            nak_delay=nak_delay,
+            ack_period=ack_period,
+            heartbeat_period=heartbeat_period,
+            heartbeat_timeout=heartbeat_timeout,
             piggyback_causal=piggyback_causal,
+            stack=stack,
         )
-        if with_membership:
-            detector = HeartbeatDetector(
-                member, period=heartbeat_period, timeout=heartbeat_timeout
-            )
-            ViewManager(member, detector)
-        members[pid] = member
     return members

@@ -1,13 +1,20 @@
 """A process-group member: the public CATOCS endpoint.
 
-:class:`GroupMember` composes the reliable transport
-(:mod:`repro.catocs.transport`) with an ordering discipline
-(:mod:`repro.catocs.ordering_layers`) and exposes the API the CATOCS
-literature advertises::
+:class:`GroupMember` owns a composable :class:`~repro.catocs.stack.ProtocolStack`
+(transport layers + one ordering discipline, composed by name — see
+:mod:`repro.catocs.stack`) and exposes the API the CATOCS literature
+advertises::
 
     member = GroupMember(sim, net, "p1", group="g", members=["p1","p2","p3"],
                          ordering="causal", on_deliver=handler)
     member.multicast({"kind": "update", ...})
+
+``ordering`` accepts a discipline alias (``"causal"``, ``"total-seq"``, ...)
+or a full stack spec such as ``"dedup|batch|stability|causal"``; the
+``stack`` keyword spells the same thing explicitly.  Inbound traffic is
+routed through the multiplexed :meth:`~repro.sim.process.Process.dispatch`
+hook: one handler per wire-message family (data, transport control, ordering
+control, membership) instead of an isinstance chain.
 
 Delivery callbacks fire in the discipline's order.  Every member records
 per-message delivery latency and delay-queue residency, the raw material for
@@ -16,11 +23,11 @@ the false-causality (E06) and overhead (E07) experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.catocs.messages import (
-    AckGossip,
+    BatchEnvelope,
     CommitRequest,
     DataMessage,
     FlushAck,
@@ -28,16 +35,18 @@ from repro.catocs.messages import (
     Heartbeat,
     JoinRequest,
     LeaveAnnounce,
+    MembershipControl,
     MsgId,
-    Nak,
     OrderToken,
     OrderTokenRequest,
+    OrderingControl,
     PriorityCommit,
     PriorityProposal,
     ProposalRequest,
+    TransportControl,
     ViewInstall,
 )
-from repro.catocs.ordering_layers import make_ordering
+from repro.catocs.stack import ProtocolStack, discipline_override, resolve_spec
 from repro.catocs.transport import GroupTransport
 from repro.ordering.causal_graph import CausalGraph
 from repro.sim.kernel import Simulator
@@ -47,6 +56,8 @@ from repro.sim.trace import EventTrace
 
 DeliverCallback = Callable[[str, Any, DataMessage], None]
 
+#: Legacy aliases for the control families, kept for external callers; the
+#: wire-message marker bases are what dispatch actually routes on.
 _ORDERING_CONTROL = (
     OrderToken,
     OrderTokenRequest,
@@ -132,6 +143,7 @@ class GroupMember(Process):
         instrumentation: Optional[GroupInstrumentation] = None,
         trace: Optional[EventTrace] = None,
         piggyback_causal: bool = False,
+        stack: Optional[str] = None,
     ) -> None:
         super().__init__(sim, network, pid)
         self.group = group
@@ -143,14 +155,22 @@ class GroupMember(Process):
         self.instrumentation = instrumentation
         self.trace = trace
 
-        self.ordering_name = ordering
-        self.ordering = make_ordering(ordering, self)
+        # Layer construction reads these off the member.
+        self.nak_delay = nak_delay
+        self.ack_period = ack_period
         #: Footnote 4 alternative to delaying: attach unstable causal
         #: predecessors to every outgoing data message.  Only meaningful
         #: with causal-family orderings.
         self.piggyback_causal = piggyback_causal
         self.piggybacked_bytes = 0
-        self.transport = GroupTransport(self, nak_delay=nak_delay, ack_period=ack_period)
+        #: Set by an attached BatchLayer; intercepts ``send``.
+        self._batcher = None
+
+        spec = discipline_override() or stack or ordering
+        self.stack = ProtocolStack(self, resolve_spec(spec))
+        self.ordering = self.stack.ordering
+        self.ordering_name = self.ordering.name
+        self.transport = GroupTransport(self, self.stack)
         if instrumentation is not None:
             self.transport.stable_hooks.append(instrumentation.on_stable)
 
@@ -171,14 +191,25 @@ class GroupMember(Process):
         self.membership = None  # attached by ViewManager, if any
         self.failure_detector = None  # attached by HeartbeatDetector, if any
 
+        # Inbound routing: one handler per wire-message family.  Dispatch
+        # walks the payload's MRO, so the exact Heartbeat registration wins
+        # over the MembershipControl base registration.
+        self.add_message_handler(DataMessage, self._on_data_message)
+        self.add_message_handler(BatchEnvelope, self._on_batch)
+        self.add_message_handler(TransportControl, self._on_transport_control)
+        self.add_message_handler(OrderingControl, self._on_ordering_control)
+        self.add_message_handler(Heartbeat, self._on_heartbeat)
+        self.add_message_handler(MembershipControl, self._on_membership_control)
+
         # Observability: per-member ordering traffic, evaluated lazily.
         registry = sim.metrics
         registry.gauge_fn("ordering.control_sent", lambda: self.control_sent,
-                          discipline=ordering, pid=pid)
+                          discipline=self.ordering_name, pid=pid)
         registry.gauge_fn("ordering.multicasts_sent", lambda: self.multicasts_sent,
-                          discipline=ordering, pid=pid)
+                          discipline=self.ordering_name, pid=pid)
         registry.gauge_fn("ordering.delivered", lambda: len(self.delivered),
-                          discipline=ordering, pid=pid)
+                          discipline=self.ordering_name, pid=pid)
+        self.stack.register_metrics()
 
     # -- public API ---------------------------------------------------------------
 
@@ -217,6 +248,13 @@ class GroupMember(Process):
         self._suspected.discard(pid)
 
     # -- sending internals -----------------------------------------------------------
+
+    def send(self, dst: str, payload: Any) -> None:
+        """Point-to-point send, interceptable by an attached batch layer."""
+        if self._batcher is not None and self.alive:
+            self._batcher.enqueue(dst, payload)
+            return
+        super().send(dst, payload)
 
     def _do_multicast(self, payload: Any) -> MsgId:
         self._next_seq += 1
@@ -280,32 +318,34 @@ class GroupMember(Process):
                 )
         return copies
 
-    def on_message(self, src: str, payload: Any) -> None:
-        if isinstance(payload, DataMessage):
-            if payload.attached:
-                # Process piggybacked predecessors first: the carrier's
-                # dependencies are then locally satisfied, so no delay.
-                for attachment in payload.attached:
-                    self._ingest_data(src, attachment)
-            self._ingest_data(src, payload)
-            return
-        if isinstance(payload, (AckGossip, Nak)):
-            self.transport.on_control(src, payload)
-            return
-        if isinstance(payload, _ORDERING_CONTROL):
-            for ready in self.ordering.on_control(src, payload):
-                self._deliver(ready)
-            self._pump()
-            return
-        if isinstance(payload, Heartbeat):
-            if self.failure_detector is not None:
-                self.failure_detector.handle_heartbeat(payload)
-            return
-        if isinstance(payload, _MEMBERSHIP_CONTROL):
-            if self.membership is not None:
-                self.membership.handle(self, src, payload)
-            return
-        self.on_app_message(src, payload)
+    def _on_data_message(self, src: str, payload: DataMessage) -> None:
+        if payload.attached:
+            # Process piggybacked predecessors first: the carrier's
+            # dependencies are then locally satisfied, so no delay.
+            for attachment in payload.attached:
+                self._ingest_data(src, attachment)
+        self._ingest_data(src, payload)
+
+    def _on_batch(self, src: str, payload: BatchEnvelope) -> None:
+        # Unpack and route each coalesced payload as if it arrived alone.
+        for inner in payload.payloads:
+            self.dispatch(src, inner)
+
+    def _on_transport_control(self, src: str, payload: Any) -> None:
+        self.stack.on_control(src, payload)
+
+    def _on_ordering_control(self, src: str, payload: Any) -> None:
+        for ready in self.ordering.on_control(src, payload):
+            self._deliver(ready)
+        self._pump()
+
+    def _on_heartbeat(self, src: str, payload: Heartbeat) -> None:
+        if self.failure_detector is not None:
+            self.failure_detector.handle_heartbeat(payload)
+
+    def _on_membership_control(self, src: str, payload: Any) -> None:
+        if self.membership is not None:
+            self.membership.handle(self, src, payload)
 
     def _ingest_data(self, src: str, msg: DataMessage) -> None:
         fresh = self.transport.on_data(src, msg)
@@ -321,6 +361,11 @@ class GroupMember(Process):
 
     def on_app_message(self, src: str, payload: Any) -> None:
         """Hook for non-group point-to-point traffic (hidden channels etc.)."""
+
+    def on_message(self, src: str, payload: Any) -> None:
+        # Everything protocol-level is claimed by a registered handler;
+        # whatever falls through is application traffic.
+        self.on_app_message(src, payload)
 
     def _deliver(self, msg: DataMessage) -> None:
         record = DeliveryRecord(

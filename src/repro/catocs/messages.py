@@ -23,6 +23,27 @@ def fresh_tag() -> int:
     return next(_unique)
 
 
+class ControlMessage:
+    """Marker base for all protocol control traffic.
+
+    The member registers one inbound handler per marker family (see
+    ``Process.add_message_handler``); a message's family decides which part
+    of the stack consumes it, replacing per-type isinstance chains.
+    """
+
+
+class TransportControl(ControlMessage):
+    """Consumed by the transport layers (dedup/NAK repair, stability)."""
+
+
+class OrderingControl(ControlMessage):
+    """Consumed by the ordering discipline at the top of the stack."""
+
+
+class MembershipControl(ControlMessage):
+    """Consumed by the view-synchronous membership protocol."""
+
+
 @dataclass
 class DataMessage:
     """An application multicast within a group.
@@ -67,7 +88,7 @@ class DataMessage:
 
 
 @dataclass
-class AckGossip:
+class AckGossip(TransportControl):
     """Periodic stability gossip: the sender's contiguous receive counts."""
 
     group: str
@@ -76,7 +97,7 @@ class AckGossip:
 
 
 @dataclass
-class Nak:
+class Nak(TransportControl):
     """Negative acknowledgement: request retransmission of missing seqs."""
 
     group: str
@@ -85,7 +106,7 @@ class Nak:
 
 
 @dataclass
-class OrderToken:
+class OrderToken(OrderingControl):
     """Sequencer-based total order: assigns global indices to message ids."""
 
     group: str
@@ -94,7 +115,7 @@ class OrderToken:
 
 
 @dataclass
-class OrderTokenRequest:
+class OrderTokenRequest(OrderingControl):
     """Repair request: resend sequencer assignments from ``from_index`` on."""
 
     group: str
@@ -103,7 +124,7 @@ class OrderTokenRequest:
 
 
 @dataclass
-class CommitRequest:
+class CommitRequest(OrderingControl):
     """Repair request: resend the agreed priority for ``msg_id``."""
 
     group: str
@@ -112,7 +133,7 @@ class CommitRequest:
 
 
 @dataclass
-class ProposalRequest:
+class ProposalRequest(OrderingControl):
     """Repair request from an agreed-order sender to a silent member.
 
     Carries the data message itself so a member that never received the
@@ -125,7 +146,7 @@ class ProposalRequest:
 
 
 @dataclass
-class PriorityProposal:
+class PriorityProposal(OrderingControl):
     """ISIS agreed-order phase 1 reply: proposed priority for a message."""
 
     group: str
@@ -135,7 +156,7 @@ class PriorityProposal:
 
 
 @dataclass
-class PriorityCommit:
+class PriorityCommit(OrderingControl):
     """ISIS agreed-order phase 2: the final, agreed priority."""
 
     group: str
@@ -146,7 +167,7 @@ class PriorityCommit:
 
 
 @dataclass
-class Heartbeat:
+class Heartbeat(MembershipControl):
     """Failure-detector liveness beacon."""
 
     group: str
@@ -155,7 +176,7 @@ class Heartbeat:
 
 
 @dataclass
-class JoinRequest:
+class JoinRequest(MembershipControl):
     """A new process asks to be added to the group's next view."""
 
     group: str
@@ -163,7 +184,7 @@ class JoinRequest:
 
 
 @dataclass
-class LeaveAnnounce:
+class LeaveAnnounce(MembershipControl):
     """Voluntary departure: the member asks to be excluded from the next view."""
 
     group: str
@@ -171,7 +192,7 @@ class LeaveAnnounce:
 
 
 @dataclass
-class FlushRequest:
+class FlushRequest(MembershipControl):
     """View change phase 1: stop sending, report unstable state."""
 
     group: str
@@ -181,7 +202,7 @@ class FlushRequest:
 
 
 @dataclass
-class FlushAck:
+class FlushAck(MembershipControl):
     """View change phase 2: member's receive state + its unstable messages.
 
     ``ordering_state`` carries the ordering layer's flushable knowledge
@@ -198,7 +219,7 @@ class FlushAck:
 
 
 @dataclass
-class ViewInstall:
+class ViewInstall(MembershipControl):
     """View change phase 3: install the agreed new membership."""
 
     group: str
@@ -207,3 +228,53 @@ class ViewInstall:
     members: Tuple[str, ...]
     final_counts: Dict[str, int] = field(default_factory=dict)
     ordering_state: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BatchEnvelope:
+    """Same-tick payloads for one destination, coalesced into one packet.
+
+    Produced by the batching layer; the receiver unpacks and dispatches each
+    inner payload as if it had arrived on its own.  The wire cost models the
+    amortisation: one framing header instead of one per payload.
+    """
+
+    sender: str
+    payloads: List[Any]
+
+    def size_bytes(self) -> int:
+        from repro.sim.network import estimate_size
+
+        return 16 + sum(estimate_size(p) for p in self.payloads)
+
+
+@dataclass
+class HybridRefetch(OrderingControl):
+    """Hybrid-buffering causal layer: a receiver whose bounded buffer
+    overflowed asks the retaining sender for the dropped message bodies."""
+
+    group: str
+    requester: str
+    wanted: List[MsgId]
+
+
+@dataclass
+class HybridRefill(OrderingControl):
+    """Answer to :class:`HybridRefetch`: full copies from sender retention."""
+
+    group: str
+    sender: str
+    msgs: List[DataMessage]
+
+
+@dataclass
+class HybridAck(OrderingControl):
+    """Periodic delivery acknowledgement for sender-side retention trimming.
+
+    ``delivered`` maps each sender pid to how many of its messages the acker
+    has delivered; every sender trims its retention to the group-wide
+    minimum of its own entry."""
+
+    group: str
+    sender: str
+    delivered: Dict[str, int]

@@ -39,6 +39,7 @@ from repro.catocs.messages import (
     PriorityProposal,
     ProposalRequest,
 )
+from repro.catocs.stack import ProtocolLayer, register_layer
 from repro.ordering.dense import bss_deliverable, group_domain
 from repro.ordering.vector import VectorClock
 
@@ -46,16 +47,25 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.catocs.member import GroupMember
 
 
-class OrderingLayer:
-    """Interface shared by all ordering disciplines."""
+class OrderingLayer(ProtocolLayer):
+    """Interface shared by all ordering disciplines.
+
+    Ordering layers are :class:`~repro.catocs.stack.ProtocolLayer` instances
+    of kind ``"ordering"``: they sit at the top of a protocol stack and are
+    driven through the delivery-gate API below (``stamp`` /
+    ``accept_local`` / ``insert`` / ``release_next``) rather than the
+    transport pipeline's ``send_down``/``receive_up``, because delivery must
+    interleave with application callbacks one message at a time.
+    """
 
     name = "abstract"
+    kind = "ordering"
     #: True when the sender's own message must wait for a global order
     #: decision before local delivery (total-order disciplines).
     delays_local_delivery = False
 
     def __init__(self, member: "GroupMember") -> None:
-        self.member = member
+        super().__init__(member)
         #: (msg_id -> first-receipt time) for messages currently held back.
         self.held_since: Dict[MsgId, float] = {}
         #: (msg_id, hold duration) for every message that was ever delayed.
@@ -154,6 +164,13 @@ class OrderingLayer:
 
     def total_hold_time(self) -> float:
         return sum(duration for _, duration in self.hold_log)
+
+    def layer_metrics(self) -> Dict[str, Any]:
+        return {
+            "pending": self.pending(),
+            "peak_pending": self.peak_pending,
+            "total_hold_time": self.total_hold_time(),
+        }
 
 
 class RawOrdering(OrderingLayer):
@@ -802,6 +819,9 @@ ORDERINGS = {
     "total-seq": TotalSequencerOrdering,
     "total-agreed": TotalAgreedOrdering,
 }
+
+for _name, _cls in ORDERINGS.items():
+    register_layer(_name, _cls, kind="ordering")
 
 
 def make_ordering(name: str, member: "GroupMember") -> OrderingLayer:

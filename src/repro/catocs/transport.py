@@ -1,140 +1,140 @@
-"""Reliable group transport with stability tracking and atomic-delivery buffers.
+"""Reliable group transport, split into two composable protocol layers.
 
 Sits between the raw (lossy, reordering) network and the ordering layers:
 
-- **Dedup & loss repair.**  Messages carry per-sender sequence numbers; gaps
-  trigger NAKs after a short delay.  Retransmission requests go to the
-  original sender while it is believed alive, otherwise to any member whose
-  acknowledged state covers the message — the "receiver ... can get copies of
-  the causally referenced messages from the sender of the new message even if
-  the original sender ... has crashed" assumption of Section 5.
+- :class:`DedupRepairLayer` (``"dedup"``) — **dedup & loss repair.**
+  Messages carry per-sender sequence numbers; gaps trigger NAKs after a
+  short delay.  Retransmission requests go to the original sender while it
+  is believed alive, otherwise to any member whose acknowledged state covers
+  the message — the "receiver ... can get copies of the causally referenced
+  messages from the sender of the new message even if the original sender
+  ... has crashed" assumption of Section 5.
 
-- **Atomic-delivery buffering.**  Every member retains every data message it
-  has received until the message is *stable* (known received by all members),
-  exactly the buffering whose growth Section 5 analyses.  Peak buffer
-  occupancy is instrumented per member.
+- :class:`StabilityLayer` (``"stability"``) — **atomic-delivery buffering
+  and stability tracking.**  Every member retains every data message it has
+  received until the message is *stable* (known received by all members),
+  exactly the buffering whose growth Section 5 analyses; peak occupancy is
+  instrumented per member.  Each outgoing data message piggybacks the
+  sender's contiguous receive counts; a periodic gossip covers quiet
+  senders.  A :class:`~repro.ordering.matrix.MatrixClock` per member derives
+  the stable frontier as the componentwise minimum over rows.
 
-- **Stability tracking.**  Each outgoing data message piggybacks the sender's
-  contiguous receive counts; a periodic gossip covers quiet senders.  A
-  :class:`~repro.ordering.matrix.MatrixClock` per member derives the stable
-  frontier as the componentwise minimum over rows.
+The two layers are deliberately *coupled through documented peer services*
+rather than a pure linear pipeline: the wire format piggybacks ack vectors
+on data messages, so on receive the stability matrix must absorb the ack
+vector *before* the dedup check (duplicates still carry fresh ack state),
+and on send the ack vector must be snapshotted *before* the dedup layer
+counts the outgoing message as received.  The dedup layer drives that
+choreography, calling the stability layer's service methods at exactly the
+points the old monolithic transport did.  A stack may omit the stability
+layer (the hybrid-buffering causal stack does); repair then falls back to
+whatever retention the remaining layers expose via ``repair_lookup``.
 
-Note what the transport does **not** give: durability.  A sender that crashes
-before its message reaches anyone loses the message even though it may have
-been delivered locally — the paper's "atomic, but not durable" deficiency,
-which experiment E09 demonstrates.
+:class:`GroupTransport` is the façade the rest of the codebase (membership,
+experiments, tests) talks to; it preserves the monolith's attribute surface
+(``contiguous``, ``matrix``, ``buffer``, counters, ``broadcast`` ...) while
+delegating to the stack's layers.
+
+Note what the transport does **not** give: durability.  A sender that
+crashes before its message reaches anyone loses the message even though it
+may have been delivered locally — the paper's "atomic, but not durable"
+deficiency, which experiment E09 demonstrates.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.catocs.messages import AckGossip, DataMessage, MsgId, Nak
+from repro.catocs.stack import ProtocolLayer, ProtocolStack, register_layer
 from repro.ordering.matrix import MatrixClock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.catocs.member import GroupMember
 
 
-class GroupTransport:
-    """Per-member reliable multicast endpoint."""
+class DedupRepairLayer(ProtocolLayer):
+    """Per-sender sequencing: duplicate suppression and NAK gap repair."""
 
-    def __init__(
-        self,
-        member: "GroupMember",
-        nak_delay: float = 5.0,
-        ack_period: float = 20.0,
-    ) -> None:
-        self.member = member
-        self.nak_delay = nak_delay
-        self.ack_period = ack_period
+    name = "dedup"
+    kind = "transport"
 
+    def __init__(self, member: "GroupMember") -> None:
+        super().__init__(member)
+        self.nak_delay = getattr(member, "nak_delay", 5.0)
         members = list(member.view_members)
-        self.matrix = MatrixClock(members)
         #: contiguous receive count per sender (own sends count as received)
         self.contiguous: Dict[str, int] = {pid: 0 for pid in members}
         #: out-of-order messages received beyond the contiguous point
         self._ahead: Dict[str, Dict[int, DataMessage]] = {}
         #: highest seq seen per sender (for gap detection)
         self._max_seen: Dict[str, int] = {pid: 0 for pid in members}
-        #: atomicity buffer: every known-unstable message we hold a copy of
-        self.buffer: Dict[MsgId, DataMessage] = {}
         self._nak_pending: Set[MsgId] = set()
         self._nak_attempts: Dict[str, int] = {}
-
-        # instrumentation
-        self.peak_buffered = 0
-        self.peak_buffered_bytes = 0
         self.retransmissions = 0
         self.naks_sent = 0
-        self.gossip_sent = 0
         self.duplicates = 0
-        self.stable_hooks: List[Callable[[MsgId], None]] = []
+        self._stability: Optional["StabilityLayer"] = None
 
-        if self.ack_period > 0:
-            member.set_timer(self.ack_period, self._gossip_tick)
+    def on_attached(self) -> None:
+        self._stability = self.stack.layer("stability")  # may be None
 
-    def update_membership(self, members) -> None:
-        """Rebuild stability tracking after a view change.
+    # -- data path -----------------------------------------------------------------
 
-        Rows for departed members no longer hold back the stable frontier.
-        Surviving members' rows restart from our own first-hand knowledge
-        and re-converge through piggybacked acks and gossip.
+    def send_down(self, msg: DataMessage) -> None:
+        """Count our own outgoing message as received and publish the fact.
+
+        Runs *after* the stability layer's ``send_down`` snapshotted the ack
+        vector (pre-send counts) and buffered the message — the monolith's
+        ``broadcast`` order.
         """
-        members = list(members)
-        self.matrix = MatrixClock(members)
-        self.matrix.update_row(self.member.pid, self.matrix.make_clock(self.contiguous))
+        self._note_counts(msg)
+        if self._stability is not None:
+            self._stability.publish_own_counts(self.contiguous)
+
+    def receive_up(self, src: str, msg: DataMessage) -> Optional[DataMessage]:
+        """The receive choreography of the old monolithic ``on_data``.
+
+        Stability services are invoked mid-flight (see module docstring):
+        ack-vector absorption before the dup check, buffering between the
+        dup check and gap chasing, a stability sweep at the end.
+        """
+        stability = self._stability
+        if msg.ack_vector:
+            if stability is not None:
+                stability.absorb_ack_vector(msg.sender, msg.ack_vector)
+            self.learn_existence(msg.ack_vector)
+        # The sender necessarily holds its own message.
+        if stability is not None:
+            stability.note_sender_holds(msg.sender, msg.seq)
+
+        if self._already_have(msg.msg_id):
+            self.duplicates += 1
+            if stability is not None:
+                stability.check_stability()
+            return None
+        if stability is not None:
+            stability.buffer_message(msg)
+        self._note_counts(msg)
+        if stability is not None:
+            stability.publish_own_counts(self.contiguous)
+        self._check_gaps(msg.sender)
+        if stability is not None:
+            stability.check_stability()
+        return msg
+
+    def on_control(self, src: str, payload: Any) -> Optional[List[DataMessage]]:
+        if isinstance(payload, Nak):
+            self._serve_nak(payload)
+            return []
+        return None
+
+    def on_membership_changed(self, members: Sequence[str]) -> None:
         for pid in members:
             if pid not in self.contiguous:
                 self.contiguous[pid] = 0
             if pid not in self._max_seen:
                 self._max_seen[pid] = 0
-        self._check_stability()
-
-    # -- sending ----------------------------------------------------------------
-
-    def broadcast(self, msg: DataMessage) -> None:
-        """Send a data message to all other view members; buffer for repair."""
-        msg.ack_vector = dict(self.contiguous)
-        self._note_received(msg)
-        for pid in self.member.view_members:
-            if pid != self.member.pid:
-                self.member.send(pid, msg)
-
-    # -- receiving ----------------------------------------------------------------
-
-    def on_data(self, src: str, msg: DataMessage) -> Optional[DataMessage]:
-        """Handle an incoming data message.
-
-        Returns the message if it is new (the caller feeds it to the ordering
-        layer), or None for duplicates.
-        """
-        if msg.ack_vector:
-            self.matrix.update_row(msg.sender, self.matrix.make_clock(msg.ack_vector))
-            self._learn_existence(msg.ack_vector)
-        # The sender necessarily holds its own message.
-        self.matrix.set_component(msg.sender, msg.sender, msg.seq)
-
-        if self._already_have(msg.msg_id):
-            self.duplicates += 1
-            self._check_stability()
-            return None
-        self._note_received(msg)
-        self._check_gaps(msg.sender)
-        self._check_stability()
-        return msg
-
-    def on_control(self, src: str, payload) -> bool:
-        """Handle transport control traffic.  Returns True if consumed."""
-        if isinstance(payload, AckGossip):
-            self.matrix.update_row(payload.sender, self.matrix.make_clock(payload.ack_vector))
-            self._learn_existence(payload.ack_vector)
-            self._check_stability()
-            return True
-        if isinstance(payload, Nak):
-            self._serve_nak(payload)
-            return True
-        return False
 
     # -- receive-state bookkeeping ---------------------------------------------
 
@@ -144,15 +144,8 @@ class GroupTransport:
             return True
         return seq in self._ahead.get(sender, {})
 
-    def _note_received(self, msg: DataMessage) -> None:
+    def _note_counts(self, msg: DataMessage) -> None:
         sender, seq = msg.msg_id
-        self.buffer[msg.msg_id] = msg
-        if len(self.buffer) > self.peak_buffered:
-            self.peak_buffered = len(self.buffer)
-        total = sum(m.size_bytes() for m in self.buffer.values())
-        if total > self.peak_buffered_bytes:
-            self.peak_buffered_bytes = total
-
         if seq > self._max_seen.get(sender, 0):
             self._max_seen[sender] = seq
         if seq == self.contiguous.get(sender, 0) + 1:
@@ -163,12 +156,10 @@ class GroupTransport:
                 del ahead[self.contiguous[sender]]
         else:
             self._ahead.setdefault(sender, {})[seq] = msg
-        # Our own receive state is first-hand knowledge for the matrix.
-        self.matrix.update_row(self.member.pid, self.matrix.make_clock(self.contiguous))
 
     # -- gap repair ---------------------------------------------------------------
 
-    def _learn_existence(self, ack_vector: Dict[str, int]) -> None:
+    def learn_existence(self, ack_vector: Dict[str, int]) -> None:
         """Ack vectors reveal messages we never saw (e.g. a dropped *final*
         message from a sender leaves no observable seq gap); chase them."""
         for sender, count in ack_vector.items():
@@ -220,26 +211,29 @@ class GroupTransport:
         messages — the Section 5 assumption that "the receiver of a new
         message ... can get copies of the causally referenced messages from
         the sender of the new message even if the original sender ... has
-        crashed".
+        crashed".  Without a stability layer there is no acknowledged-state
+        matrix, so only the original sender can be asked (the hybrid stack's
+        sender-retention model).
         """
         attempt = self._nak_attempts.get(sender, 0)
         self._nak_attempts[sender] = attempt + 1
         candidates: List[str] = []
         if self.member.believes_alive(sender):
             candidates.append(sender)
-        for pid in self.member.view_members:
-            if pid in (self.member.pid, sender) or not self.member.believes_alive(pid):
-                continue
-            row = self.matrix.row(pid)
-            if all(row[s] >= q for s, q in wanted):
-                candidates.append(pid)
+        if self._stability is not None:
+            for pid in self.member.view_members:
+                if pid in (self.member.pid, sender) or not self.member.believes_alive(pid):
+                    continue
+                row = self._stability.matrix.row(pid)
+                if all(row[s] >= q for s, q in wanted):
+                    candidates.append(pid)
         if not candidates:
             return None
         return candidates[attempt % len(candidates)]
 
     def _serve_nak(self, nak: Nak) -> None:
         for msg_id in nak.wanted:
-            msg = self.buffer.get(msg_id)
+            msg = self.stack.repair_lookup(msg_id)
             if msg is None:
                 continue
             # NOTE: no ack_vector on the copy.  The piggybacked ack vector is
@@ -261,6 +255,101 @@ class GroupTransport:
             self.retransmissions += 1
             self.member.send(nak.requester, copy)
 
+    # -- metrics -------------------------------------------------------------------
+
+    def layer_metrics(self) -> Dict[str, int]:
+        return {
+            "retransmissions": self.retransmissions,
+            "naks_sent": self.naks_sent,
+            "duplicates": self.duplicates,
+            "nak_pending": len(self._nak_pending),
+        }
+
+
+class StabilityLayer(ProtocolLayer):
+    """Atomic-delivery buffering + matrix-clock stability tracking."""
+
+    name = "stability"
+    kind = "transport"
+
+    def __init__(self, member: "GroupMember") -> None:
+        super().__init__(member)
+        self.ack_period = getattr(member, "ack_period", 20.0)
+        members = list(member.view_members)
+        self.matrix = MatrixClock(members)
+        #: atomicity buffer: every known-unstable message we hold a copy of
+        self.buffer: Dict[MsgId, DataMessage] = {}
+        self.peak_buffered = 0
+        self.peak_buffered_bytes = 0
+        self.gossip_sent = 0
+        self.stable_hooks: List[Callable[[MsgId], None]] = []
+        self._dedup: Optional[DedupRepairLayer] = None
+
+        if self.ack_period > 0:
+            member.set_timer(self.ack_period, self._gossip_tick)
+
+    def on_attached(self) -> None:
+        self._dedup = self.stack.layer("dedup")
+
+    def _counts(self) -> Dict[str, int]:
+        """The member's contiguous receive counts (owned by the dedup layer)."""
+        return self._dedup.contiguous if self._dedup is not None else {}
+
+    # -- data path -----------------------------------------------------------------
+
+    def send_down(self, msg: DataMessage) -> None:
+        """Piggyback the pre-send ack vector; buffer our own message.
+
+        Runs *before* the dedup layer's ``send_down`` (the stack pushes top
+        to bottom), so the snapshot excludes the message being sent — as in
+        the monolith, where the snapshot preceded ``_note_received``.
+        """
+        msg.ack_vector = dict(self._counts())
+        self.buffer_message(msg)
+
+    def on_control(self, src: str, payload: Any) -> Optional[List[DataMessage]]:
+        if isinstance(payload, AckGossip):
+            self.absorb_ack_vector(payload.sender, payload.ack_vector)
+            if self._dedup is not None:
+                self._dedup.learn_existence(payload.ack_vector)
+            self.check_stability()
+            return []
+        return None
+
+    def on_membership_changed(self, members: Sequence[str]) -> None:
+        """Rebuild stability tracking after a view change.
+
+        Rows for departed members no longer hold back the stable frontier.
+        Surviving members' rows restart from our own first-hand knowledge
+        and re-converge through piggybacked acks and gossip.
+        """
+        self.matrix = MatrixClock(list(members))
+        self.matrix.update_row(self.member.pid, self.matrix.make_clock(self._counts()))
+        self.check_stability()
+
+    # -- peer services (called by the dedup layer mid-choreography) ----------------
+
+    def absorb_ack_vector(self, sender: str, ack_vector: Dict[str, int]) -> None:
+        self.matrix.update_row(sender, self.matrix.make_clock(ack_vector))
+
+    def note_sender_holds(self, sender: str, seq: int) -> None:
+        self.matrix.set_component(sender, sender, seq)
+
+    def buffer_message(self, msg: DataMessage) -> None:
+        self.buffer[msg.msg_id] = msg
+        if len(self.buffer) > self.peak_buffered:
+            self.peak_buffered = len(self.buffer)
+        total = sum(m.size_bytes() for m in self.buffer.values())
+        if total > self.peak_buffered_bytes:
+            self.peak_buffered_bytes = total
+
+    def publish_own_counts(self, contiguous: Dict[str, int]) -> None:
+        # Our own receive state is first-hand knowledge for the matrix.
+        self.matrix.update_row(self.member.pid, self.matrix.make_clock(contiguous))
+
+    def repair_lookup(self, msg_id: MsgId) -> Optional[DataMessage]:
+        return self.buffer.get(msg_id)
+
     # -- stability -----------------------------------------------------------------
 
     def _gossip_tick(self) -> None:
@@ -268,14 +357,14 @@ class GroupTransport:
         gossip = AckGossip(
             group=self.member.group,
             sender=self.member.pid,
-            ack_vector=dict(self.contiguous),
+            ack_vector=dict(self._counts()),
         )
         for pid in self.member.view_members:
             if pid != self.member.pid:
                 self.member.send(pid, gossip)
         self.member.set_timer(self.ack_period, self._gossip_tick)
 
-    def _check_stability(self) -> None:
+    def check_stability(self) -> None:
         stable = self.matrix.min_vector()
         newly_stable = [
             mid for mid in self.buffer if mid[1] <= stable[mid[0]]
@@ -285,10 +374,129 @@ class GroupTransport:
             for hook in self.stable_hooks:
                 hook(mid)
 
-    # -- metrics ---------------------------------------------------------------------
+    # -- metrics -------------------------------------------------------------------
 
     def buffered_bytes(self) -> int:
         return sum(m.size_bytes() for m in self.buffer.values())
+
+    def layer_metrics(self) -> Dict[str, int]:
+        return {
+            "buffered": len(self.buffer),
+            "buffered_bytes": self.buffered_bytes(),
+            "peak_buffered": self.peak_buffered,
+            "peak_buffered_bytes": self.peak_buffered_bytes,
+            "gossip_sent": self.gossip_sent,
+        }
+
+
+register_layer("dedup", DedupRepairLayer, kind="transport")
+register_layer("stability", StabilityLayer, kind="transport")
+
+
+class GroupTransport:
+    """Façade over the stack's transport layers.
+
+    Preserves the attribute surface of the pre-refactor monolithic
+    transport — membership, experiments, and tests read ``contiguous``,
+    ``matrix``, ``buffer`` and the counters, and monkeypatch ``broadcast``
+    — while the actual machinery lives in the registered layers.  Stacks
+    without a stability layer get inert defaults (empty buffer/matrix-less
+    metrics) so the surface stays total.
+    """
+
+    def __init__(self, member: "GroupMember", stack: ProtocolStack) -> None:
+        self.member = member
+        self._stack = stack
+        self._dedup: Optional[DedupRepairLayer] = stack.layer("dedup")
+        self._stability: Optional[StabilityLayer] = stack.layer("stability")
+        #: stable-notification hooks when no stability layer exists (inert)
+        self._orphan_hooks: List[Callable[[MsgId], None]] = []
+
+    # -- the monolith's verbs -----------------------------------------------------
+
+    def broadcast(self, msg: DataMessage) -> None:
+        """Send a data message to all other view members; buffer for repair."""
+        self._stack.broadcast(msg)
+
+    def on_data(self, src: str, msg: DataMessage) -> Optional[DataMessage]:
+        """Run a data message up the transport layers; None for duplicates."""
+        return self._stack.receive_data(src, msg)
+
+    def on_control(self, src: str, payload: Any) -> bool:
+        """Handle transport control traffic.  Returns True if consumed."""
+        return self._stack.on_control(src, payload) is not None
+
+    def update_membership(self, members: Sequence[str]) -> None:
+        self._stack.membership_changed(members)
+
+    # -- the monolith's state surface ----------------------------------------------
+
+    @property
+    def nak_delay(self) -> float:
+        return self._dedup.nak_delay if self._dedup else 0.0
+
+    @property
+    def ack_period(self) -> float:
+        return self._stability.ack_period if self._stability else 0.0
+
+    @property
+    def contiguous(self) -> Dict[str, int]:
+        return self._dedup.contiguous if self._dedup else {}
+
+    @property
+    def _max_seen(self) -> Dict[str, int]:
+        return self._dedup._max_seen if self._dedup else {}
+
+    @property
+    def _ahead(self) -> Dict[str, Dict[int, DataMessage]]:
+        return self._dedup._ahead if self._dedup else {}
+
+    @property
+    def _nak_pending(self) -> Set[MsgId]:
+        return self._dedup._nak_pending if self._dedup else set()
+
+    @property
+    def matrix(self) -> Optional[MatrixClock]:
+        return self._stability.matrix if self._stability else None
+
+    @property
+    def buffer(self) -> Dict[MsgId, DataMessage]:
+        return self._stability.buffer if self._stability else {}
+
+    @property
+    def stable_hooks(self) -> List[Callable[[MsgId], None]]:
+        if self._stability is not None:
+            return self._stability.stable_hooks
+        return self._orphan_hooks
+
+    @property
+    def retransmissions(self) -> int:
+        return self._dedup.retransmissions if self._dedup else 0
+
+    @property
+    def naks_sent(self) -> int:
+        return self._dedup.naks_sent if self._dedup else 0
+
+    @property
+    def duplicates(self) -> int:
+        return self._dedup.duplicates if self._dedup else 0
+
+    @property
+    def peak_buffered(self) -> int:
+        return self._stability.peak_buffered if self._stability else 0
+
+    @property
+    def peak_buffered_bytes(self) -> int:
+        return self._stability.peak_buffered_bytes if self._stability else 0
+
+    @property
+    def gossip_sent(self) -> int:
+        return self._stability.gossip_sent if self._stability else 0
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def buffered_bytes(self) -> int:
+        return self._stability.buffered_bytes() if self._stability else 0
 
     def metrics(self) -> Dict[str, int]:
         return {

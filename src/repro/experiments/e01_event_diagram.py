@@ -38,10 +38,11 @@ def run_e01(seed: int = 0) -> ExperimentResult:
         for record in member.delivered:
             if record.msg_id == msg_id:
                 break
-        # Find the message object in the member's transport buffer or log.
-        for msg in member.transport.buffer.values():
-            if msg.msg_id == msg_id:
-                captured[label] = msg
+        # Find the retained message object in whatever layer buffers it
+        # (stability buffer, or sender retention on hybrid stacks).
+        msg = member.stack.repair_lookup(msg_id)
+        if msg is not None:
+            captured[label] = msg
 
     # The figure's scenario: Q sends m1; P reacts with m2 after delivering
     # m1; R reacts with m4 after delivering m2 (so m1 -> m2 -> m4); Q sends

@@ -13,7 +13,7 @@ reception."  Two costs, measured directly:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.catocs import build_group
 from repro.catocs.messages import DataMessage
@@ -22,11 +22,13 @@ from repro.sim import LinkModel, Network, Simulator
 from repro.sim.network import estimate_size
 
 
-def _measure(seed: int, ordering: str, size: int, msgs_per_member: int) -> Dict[str, float]:
+def _measure(seed: int, ordering: str, size: int, msgs_per_member: int,
+             stack: Optional[str] = None) -> Dict[str, float]:
     sim = Simulator(seed=seed)
     net = Network(sim, LinkModel(latency=5.0, jitter=2.0))
     pids = [f"p{i:02d}" for i in range(size)]
-    members = build_group(sim, net, pids, ordering=ordering, ack_period=0.0)
+    members = build_group(sim, net, pids, ordering=ordering, ack_period=0.0,
+                          stack=stack)
 
     header_samples = []
     original_deliver = {}
@@ -47,10 +49,16 @@ def _measure(seed: int, ordering: str, size: int, msgs_per_member: int) -> Dict[
             total_multicasts += 1
     sim.run(until=msgs_per_member * 25.0 + 2000.0)
 
+    batch_saved = sum(
+        m.stack.layer("batch").messages_saved()
+        for m in members.values() if m.stack.layer("batch") is not None
+    )
     return {
         "header_bytes": mean(header_samples),
+        "net_msgs": net.stats.sent,
         "net_msgs_per_multicast": net.stats.sent / total_multicasts,
         "bytes_per_multicast": net.stats.bytes_sent / total_multicasts,
+        "batch_saved": batch_saved,
     }
 
 
@@ -67,6 +75,7 @@ def run_e07(
     )
     headers: Dict[int, float] = {}
     per_mcast: Dict[tuple, float] = {}
+    full: Dict[tuple, Dict[str, float]] = {}
     for size in sizes:
         row = [size]
         causal = _measure(seed, "causal", size, msgs_per_member)
@@ -77,6 +86,7 @@ def run_e07(
             else:
                 metrics = _measure(seed, ordering, size, msgs_per_member)
             per_mcast[(size, ordering)] = metrics["net_msgs_per_multicast"]
+            full[(size, ordering)] = metrics
         header_table.add_row(
             size,
             round(causal["header_bytes"], 1),
@@ -102,6 +112,26 @@ def run_e07(
     }
     fits = Table("Fitted growth", ["quantity", "exponent k"])
     fits.add_row("causal header bytes vs N", round(header_exp, 2))
+
+    # Extras-only rerun at the largest N on the batching stack: how much of
+    # each discipline's per-multicast message overhead same-tick coalescing
+    # recovers.  Loss-free causal has no same-tick same-destination traffic
+    # (saved == 0, the quiet path is untouched); the total orders' token /
+    # proposal / commit rounds coalesce with the data they ride alongside.
+    batching: Dict[str, Dict[str, float]] = {}
+    for ordering in ("causal", "total-seq", "total-agreed"):
+        batched = _measure(seed, ordering, biggest, msgs_per_member,
+                           stack=f"dedup|batch|stability|{ordering}")
+        plain = full[(biggest, ordering)]
+        batching[ordering] = {
+            "net_msgs_plain": plain["net_msgs"],
+            "net_msgs_batched": batched["net_msgs"],
+            "net_msgs_saved": plain["net_msgs"] - batched["net_msgs"],
+            "layer_messages_saved": batched["batch_saved"],
+            "net_msgs_per_multicast_plain": plain["net_msgs_per_multicast"],
+            "net_msgs_per_multicast_batched": batched["net_msgs_per_multicast"],
+        }
+    extras = {"batching": {"size": biggest, "per_ordering": batching}}
     return ExperimentResult(
         experiment_id="E07",
         title="Sections 3.4/5 — per-message ordering overhead",
@@ -112,4 +142,5 @@ def run_e07(
             "per member.  Message counts: the control traffic each ordering "
             "discipline adds on top of the N-1 data sends."
         ),
+        extras=extras,
     )

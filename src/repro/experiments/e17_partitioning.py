@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.catocs import build_group
+from repro.catocs import build_group, build_member
 from repro.catocs.member import GroupMember
 from repro.experiments.harness import ExperimentResult, Table, mean
 from repro.sim import LinkModel, Network, Simulator
@@ -63,13 +63,13 @@ def _bridged_run(seed: int, partitioned: bool, triggers: int = 12) -> Dict[str, 
             return callback
 
         for pid in g1:
-            members[pid] = GroupMember(sim, net, pid, group="g1", members=g1,
-                                       ordering="causal",
-                                       on_deliver=deliver_g1(pid))
+            members[pid] = build_member(sim, net, pid, group="g1", members=g1,
+                                        ordering="causal",
+                                        on_deliver=deliver_g1(pid))
         for pid in g2:
-            members[pid] = GroupMember(sim, net, pid, group="g2", members=g2,
-                                       ordering="causal",
-                                       on_deliver=deliver_g2(pid))
+            members[pid] = build_member(sim, net, pid, group="g2", members=g2,
+                                        ordering="causal",
+                                        on_deliver=deliver_g2(pid))
         sender = members["s"]
         net.set_link("s", "checker!g1", LinkModel(latency=60.0, jitter=3.0))
     else:
@@ -87,8 +87,8 @@ def _bridged_run(seed: int, partitioned: bool, triggers: int = 12) -> Dict[str, 
             return callback
 
         members = {
-            pid: GroupMember(sim, net, pid, group="dom", members=everyone,
-                             ordering="causal", on_deliver=deliver(pid))
+            pid: build_member(sim, net, pid, group="dom", members=everyone,
+                              ordering="causal", on_deliver=deliver(pid))
             for pid in everyone
         }
         sender = members["s"]

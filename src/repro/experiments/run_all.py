@@ -7,6 +7,14 @@ Usage::
     python -m repro.experiments --list                       # names only
     python -m repro.experiments --jobs 4                     # parallel workers
     python -m repro.experiments run_all --metrics-out m.json # + metrics dump
+    python -m repro.experiments --discipline total-seq E06   # A/B rerun
+
+``--discipline NAME`` forces every group member the experiments build onto
+the named stack (a discipline alias like ``hybrid-causal`` or a full spec
+like ``dedup|batch|stability|causal`` — validated against the layer
+registry) regardless of what each experiment asks for.  Reproduction checks
+are calibrated for the default disciplines, so expect deliberate FAIL
+verdicts under an override; the point is the A/B comparison of the tables.
 
 ``--jobs N`` fans the experiments out across N worker processes (``--jobs
 0`` means one per CPU).  Each worker returns a pickle-safe envelope — the
@@ -76,7 +84,8 @@ def registry() -> Dict[str, Callable[[], ExperimentResult]]:
 # -- the per-experiment envelope (what a worker ships back) ---------------------
 
 
-def run_one(name: str, want_metrics: bool) -> Dict[str, Any]:
+def run_one(name: str, want_metrics: bool,
+            discipline: Optional[str] = None) -> Dict[str, Any]:
     """Execute one experiment and wrap the outcome in a pickle-safe envelope.
 
     The envelope carries only plain data (strings, lists, dicts of numbers)
@@ -92,7 +101,10 @@ def run_one(name: str, want_metrics: bool) -> Dict[str, Any]:
         "metrics": None,
         "traceback": None,
     }
+    from repro.catocs.stack import set_discipline_override
+
     try:
+        set_discipline_override(discipline)
         with capture() as registries:
             result = registry()[name]()
         envelope["rendered"] = result.render()
@@ -104,6 +116,8 @@ def run_one(name: str, want_metrics: bool) -> Dict[str, Any]:
             envelope["metrics"] = aggregate(registries)
     except Exception:
         envelope["traceback"] = traceback.format_exc()
+    finally:
+        set_discipline_override(None)
     return envelope
 
 
@@ -121,14 +135,14 @@ def _dead_worker_envelope(name: str, exc: BaseException) -> Dict[str, Any]:
     }
 
 
-def _run_parallel(wanted: List[str], jobs: int,
-                  want_metrics: bool) -> List[Dict[str, Any]]:
+def _run_parallel(wanted: List[str], jobs: int, want_metrics: bool,
+                  discipline: Optional[str] = None) -> List[Dict[str, Any]]:
     """Fan experiments out over a process pool; merge in ``wanted`` order."""
     from concurrent.futures import ProcessPoolExecutor
 
     envelopes: Dict[str, Dict[str, Any]] = {}
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {name: pool.submit(run_one, name, want_metrics)
+        futures = {name: pool.submit(run_one, name, want_metrics, discipline)
                    for name in wanted}
         for name, future in futures.items():
             try:
@@ -142,38 +156,43 @@ def _run_parallel(wanted: List[str], jobs: int,
 
 
 def _parse_args(argv: List[str]) -> tuple:
-    """Split argv into (experiment tokens, metrics path, jobs, error)."""
+    """Split argv into (tokens, metrics path, jobs, discipline, error)."""
     names: List[str] = []
     metrics_out = None
     jobs: Optional[int] = None
+    discipline: Optional[str] = None
+    options = ("--metrics-out", "--jobs", "--discipline")
     i = 0
     while i < len(argv):
         arg = argv[i]
         value = None
-        if arg in ("--metrics-out", "--jobs"):
+        if arg in options:
             if i + 1 >= len(argv):
-                return [], None, None, f"{arg} requires a value"
+                return [], None, None, None, f"{arg} requires a value"
             value = argv[i + 1]
             i += 2
-        elif arg.startswith("--metrics-out=") or arg.startswith("--jobs="):
+        elif arg.startswith(tuple(option + "=" for option in options)):
             arg, value = arg.split("=", 1)
             i += 1
         elif arg.startswith("-"):
-            return [], None, None, f"unknown option: {arg}"
+            return [], None, None, None, f"unknown option: {arg}"
         else:
             names.append(arg)
             i += 1
             continue
         if arg == "--metrics-out":
             metrics_out = value
+        elif arg == "--discipline":
+            discipline = value
         else:
             try:
                 jobs = int(value)
             except ValueError:
-                return [], None, None, f"--jobs requires an integer, got {value!r}"
+                return [], None, None, None, \
+                    f"--jobs requires an integer, got {value!r}"
             if jobs < 0:
-                return [], None, None, "--jobs must be >= 0"
-    return names, metrics_out, jobs, None
+                return [], None, None, None, "--jobs must be >= 0"
+    return names, metrics_out, jobs, discipline, None
 
 
 def _print_report(envelopes: List[Dict[str, Any]]) -> None:
@@ -207,7 +226,7 @@ def main(argv: List[str]) -> int:
         for name in experiments:
             print(name)
         return 0
-    tokens, metrics_out, jobs, error = _parse_args(argv)
+    tokens, metrics_out, jobs, discipline, error = _parse_args(argv)
     if error:
         print(error, file=sys.stderr)
         return 2
@@ -217,14 +236,24 @@ def main(argv: List[str]) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}; use --list", file=sys.stderr)
         return 2
+    if discipline is not None:
+        from repro.catocs.stack import resolve_spec
+
+        try:
+            resolve_spec(discipline)
+        except ValueError as exc:
+            print(f"--discipline: {exc}", file=sys.stderr)
+            return 2
+        print(f"(discipline override: every group runs {discipline!r})")
+        print()
 
     want_metrics = metrics_out is not None
     if jobs is None:
-        envelopes = [run_one(name, want_metrics) for name in wanted]
+        envelopes = [run_one(name, want_metrics, discipline) for name in wanted]
     else:
         if jobs == 0:
             jobs = os.cpu_count() or 1
-        envelopes = _run_parallel(wanted, jobs, want_metrics)
+        envelopes = _run_parallel(wanted, jobs, want_metrics, discipline)
 
     _print_report(envelopes)
     _print_verdicts(envelopes)

@@ -15,7 +15,7 @@ explicitly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Type
 
 from repro.sim.kernel import Simulator, Timer
 from repro.sim.network import Network, Packet
@@ -31,6 +31,8 @@ class Process:
         self.alive = True
         self.crash_count = 0
         self._timers: List[Timer] = []
+        #: payload-type -> handler, consulted before :meth:`on_message`.
+        self._handlers: Dict[Type, Callable[[str, Any], None]] = {}
         network.attach(self)
         sim.call_at(sim.now, self._start)
 
@@ -49,6 +51,29 @@ class Process:
         """Called when a crashed process restarts."""
 
     # -- services ------------------------------------------------------------
+
+    def add_message_handler(
+        self, payload_type: Type, handler: Callable[[str, Any], None]
+    ) -> None:
+        """Register ``handler(src, payload)`` for packets of ``payload_type``.
+
+        This is the multiplexed inbound hook protocol stacks hang off: one
+        registration per wire-message family replaces a hand-written
+        isinstance chain in :meth:`on_message`.  Dispatch walks the payload's
+        MRO so a handler registered for a base class catches subclasses;
+        packets matching no handler fall through to :meth:`on_message`.
+        """
+        self._handlers[payload_type] = handler
+
+    def dispatch(self, src: str, payload: Any) -> None:
+        """Route one inbound payload through the registered handlers."""
+        if self._handlers:
+            for klass in type(payload).__mro__:
+                handler = self._handlers.get(klass)
+                if handler is not None:
+                    handler(src, payload)
+                    return
+        self.on_message(src, payload)
 
     def send(self, dst: str, payload: Any) -> None:
         """Send a payload to another process.  No-op while crashed."""
@@ -96,7 +121,7 @@ class Process:
             self.on_start()
 
     def _receive_packet(self, packet: Packet) -> None:
-        self.on_message(packet.src, packet.payload)
+        self.dispatch(packet.src, packet.payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "up" if self.alive else "down"

@@ -41,7 +41,8 @@ def test_workloads_produce_positive_numbers():
 
 def test_multicast_workload_covers_every_discipline():
     out = workloads.multicast_us_per_delivery(members=3, msgs=9, repeats=1)
-    assert set(out) == {"raw", "fifo", "causal", "total-seq", "total-agreed"}
+    assert set(out) == {"raw", "fifo", "causal", "total-seq", "total-agreed",
+                       "hybrid-causal", "batched-causal"}
     assert all(v > 0 for v in out.values())
 
 

@@ -85,9 +85,10 @@ def test_parallel_merges_in_registry_order():
 def test_jobs_zero_means_cpu_count(monkeypatch):
     calls = {}
 
-    def fake_parallel(wanted, jobs, want_metrics):
+    def fake_parallel(wanted, jobs, want_metrics, discipline=None):
         calls["jobs"] = jobs
-        return [run_all.run_one(name, want_metrics) for name in wanted]
+        return [run_all.run_one(name, want_metrics, discipline)
+                for name in wanted]
 
     monkeypatch.setattr(run_all, "_run_parallel", fake_parallel)
     status, _ = _run_main(["E01", "--jobs", "0"])
