@@ -1,0 +1,123 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``repro-analysis``.
+
+Exit codes: ``0`` clean (every finding suppressed or baselined), ``1``
+at least one fresh finding, ``2`` usage or internal error.  See
+``docs/ANALYSIS.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.engine import default_root, run_analysis
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import ALL_RULES
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analysis",
+        description="Determinism & protocol-contract static analysis "
+        "for the CATOCS reproduction.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyse instead of the whole repo "
+        "(explicit paths get full lexical-rule coverage; docs are skipped)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root (default: auto-detected)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE} if present; "
+        "pass an explicit path to require it)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the report to this path (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--no-docs", action="store_true",
+        help="skip scanning Markdown docs for spec strings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.severity.value:7s}  {rule.title}")
+        return 0
+
+    root = (args.root or default_root()).resolve()
+    if not (root / "src" / "repro").is_dir() and not args.paths:
+        print(f"error: {root} does not look like the repo root "
+              "(no src/repro)", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_analysis(
+            root=root,
+            paths=args.paths or None,
+            include_docs=not args.no_docs,
+        )
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"error: analysis failed: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = root / DEFAULT_BASELINE
+        if candidate.is_file():
+            baseline_path = candidate
+
+    if args.update_baseline:
+        target = args.baseline or (root / DEFAULT_BASELINE)
+        baseline_mod.save(result.findings, target)
+        print(f"baseline written: {target} "
+              f"({len(result.findings)} finding(s))")
+        return 0
+
+    grandfathered = []
+    fresh = result.findings
+    if baseline_path is not None:
+        try:
+            known = baseline_mod.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        fresh, grandfathered = baseline_mod.apply(result.findings, known)
+
+    renderer = render_json if args.format == "json" else render_text
+    report = renderer(fresh, grandfathered, result.suppressed)
+    sys.stdout.write(report)
+    if args.out is not None:
+        args.out.write_text(report, encoding="utf-8")
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""The analysis engine: discover sources, run rules, filter, order.
+
+The engine owns everything a rule should not care about: file discovery,
+suppression comments, deduplication, and deterministic output ordering.
+Findings come back sorted by ``(path, line, rule, message)`` so two runs on
+the same tree are byte-identical — the analyser holds itself to the
+standard it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.finding import Finding, Severity, make_finding
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.source import (
+    DocFile,
+    SourceModule,
+    iter_doc_files,
+    iter_python_files,
+    load_doc_file,
+    load_python_file,
+)
+from repro.analysis.suppress import is_suppressed
+
+#: Rule id used for files the parser rejects.
+PARSE_RULE_ID = "PARSE001"
+
+
+@dataclass
+class Project:
+    """Everything the rules see: parsed sources, tests, and docs."""
+
+    root: Path
+    src_modules: List[SourceModule] = field(default_factory=list)
+    test_modules: List[SourceModule] = field(default_factory=list)
+    docs: List[DocFile] = field(default_factory=list)
+    parse_findings: List[Finding] = field(default_factory=list)
+
+    def module_for(self, relpath: str) -> Optional[SourceModule]:
+        for mod in self.src_modules:
+            if mod.relpath == relpath:
+                return mod
+        for mod in self.test_modules:
+            if mod.relpath == relpath:
+                return mod
+        return None
+
+
+@dataclass
+class AnalysisResult:
+    """Findings after suppression, before baseline subtraction."""
+
+    project: Project
+    findings: List[Finding]
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+
+def default_root() -> Path:
+    """The repository root: cwd when it holds ``src/repro``, else derived
+    from this package's location (``src/repro/analysis`` -> repo root)."""
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    return Path(__file__).resolve().parents[3]
+
+
+def load_project(
+    root: Optional[Path] = None,
+    paths: Optional[Sequence[Path]] = None,
+    include_docs: bool = True,
+) -> Project:
+    """Parse the tree (or just ``paths``, when given) into a Project.
+
+    Explicit ``paths`` — the fixture-directory mode — are loaded in "src"
+    scope so every lexical rule applies to them, and doc scanning is
+    skipped.
+    """
+    root = (root or default_root()).resolve()
+    src_root = root / "src"
+    project = Project(root=root)
+
+    def load_into(files: Iterable[Path], bucket: List[SourceModule]) -> None:
+        for path in files:
+            mod, error = load_python_file(path, root, src_root)
+            if mod is not None:
+                bucket.append(mod)
+            else:
+                relpath = _rel(path, root)
+                project.parse_findings.append(
+                    make_finding(
+                        PARSE_RULE_ID, Severity.ERROR, relpath, 0,
+                        f"file does not parse: {error}",
+                        hint="fix the syntax error; nothing else in this "
+                        "file was analysed",
+                    )
+                )
+
+    if paths:
+        load_into(iter_python_files([Path(p) for p in paths]),
+                  project.src_modules)
+        return project
+
+    load_into(iter_python_files([src_root / "repro"]), project.src_modules)
+    tests_root = root / "tests"
+    if tests_root.is_dir():
+        # ``fixtures`` directories hold deliberately-broken analyser inputs;
+        # scanning them would make the violation corpus fail the repo gate.
+        files = [
+            p for p in iter_python_files([tests_root])
+            if "fixtures" not in p.parts
+        ]
+        load_into(files, project.test_modules)
+    if include_docs:
+        project.docs = [load_doc_file(p, root) for p in iter_doc_files(root)]
+    return project
+
+
+def run_analysis(
+    root: Optional[Path] = None,
+    paths: Optional[Sequence[Path]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    include_docs: bool = True,
+) -> AnalysisResult:
+    """Run ``rules`` (default: all) over the tree rooted at ``root``."""
+    project = load_project(root=root, paths=paths, include_docs=include_docs)
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    raw: List[Finding] = list(project.parse_findings)
+
+    for rule in active:
+        if paths and rule.repo_only:
+            continue
+        scoped: List[SourceModule] = []
+        if "src" in rule.scopes:
+            scoped += project.src_modules
+        if "tests" in rule.scopes:
+            scoped += project.test_modules
+        for mod in scoped:
+            raw.extend(rule.check_module(mod))
+        raw.extend(rule.check_project(project))
+
+    by_relpath: Dict[str, SourceModule] = {
+        m.relpath: m for m in project.src_modules + project.test_modules
+    }
+    kept: List[Finding] = []
+    suppressed = 0
+    seen = set()
+    for finding in raw:
+        key = (finding.rule_id, finding.path, finding.line, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        mod = by_relpath.get(finding.path)
+        if mod is not None and is_suppressed(
+            mod.suppressions,
+            finding.rule_id,
+            finding.line,
+            mod.stmt_start(finding.line),
+        ):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: f.sort_key)
+    return AnalysisResult(project=project, findings=kept, suppressed=suppressed)
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()

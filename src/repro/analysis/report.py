@@ -1,0 +1,56 @@
+"""Finding renderers: human text and machine JSON (``repro.analysis/v1``)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.finding import Finding
+
+SCHEMA = "repro.analysis/v1"
+
+
+def render_text(
+    fresh: List[Finding],
+    grandfathered: List[Finding],
+    suppressed: int,
+) -> str:
+    lines: List[str] = []
+    for finding in fresh:
+        lines.append(finding.render())
+    counts = _severity_counts(fresh)
+    summary = (
+        f"{len(fresh)} finding(s) "
+        f"({counts['error']} error(s), {counts['warning']} warning(s)), "
+        f"{len(grandfathered)} baselined, {suppressed} suppressed"
+    )
+    if fresh:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    fresh: List[Finding],
+    grandfathered: List[Finding],
+    suppressed: int,
+) -> str:
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "findings": [f.to_json() for f in fresh],
+        "baselined": [f.to_json() for f in grandfathered],
+        "summary": {
+            **_severity_counts(fresh),
+            "total": len(fresh),
+            "baselined": len(grandfathered),
+            "suppressed": suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _severity_counts(findings: List[Finding]) -> Dict[str, int]:
+    counts = {"error": 0, "warning": 0}
+    for finding in findings:
+        counts[finding.severity.value] += 1
+    return counts

@@ -1,0 +1,86 @@
+"""Sim-purity rules (``PUR*``).
+
+The protocol and detection packages are *runtime-agnostic by contract*:
+they see time only through the kernel's virtual clock and talk only through
+the injected network.  The moment one of them imports ``threading`` or
+``time``, the same code stops being replayable in the simulator — so the
+boundary is enforced as an import ban, with :mod:`repro.runtime` as the one
+sanctioned integration point for wall-clock/asyncio facilities.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceModule
+
+#: Packages that must stay simulation-pure.
+PURE_PACKAGES = (
+    "repro.sim",
+    "repro.catocs",
+    "repro.ordering",
+    "repro.txn",
+    "repro.statelevel",
+)
+
+#: The sanctioned home for real-runtime integrations.
+PURITY_ALLOWLIST = ("repro.runtime",)
+
+#: Import roots that bind code to threads, event loops, or wall clocks.
+BANNED_IMPORT_ROOTS = {
+    "threading": "thread scheduling is nondeterministic",
+    "_thread": "thread scheduling is nondeterministic",
+    "asyncio": "event-loop timing is wall-clock driven",
+    "concurrent": "executor scheduling is nondeterministic",
+    "multiprocessing": "process scheduling is nondeterministic",
+    "subprocess": "child processes escape the simulation",
+    "socket": "real I/O escapes the simulated network",
+    "selectors": "real I/O readiness is wall-clock driven",
+    "signal": "signal delivery is asynchronous wall-clock input",
+    "time": "wall clocks break (seed, parameters) reproducibility",
+    "queue": "queue.Queue is a threading primitive",
+    "sched": "sched uses wall-clock timers",
+}
+
+
+def _in_pure_package(module: str) -> bool:
+    if any(
+        module == p or module.startswith(p + ".") for p in PURITY_ALLOWLIST
+    ):
+        return False
+    return any(
+        module == p or module.startswith(p + ".") for p in PURE_PACKAGES
+    )
+
+
+class ImpureImportRule(Rule):
+    """PUR001: a sim-pure package imports a runtime/wall-clock facility."""
+
+    rule_id = "PUR001"
+    title = "impure import in a simulation-pure package"
+    severity = Severity.ERROR
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        if not _in_pure_package(mod.module):
+            return
+        for node in ast.walk(mod.tree):
+            roots = []
+            if isinstance(node, ast.Import):
+                roots = [(alias.name.split(".")[0], node) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module:
+                    roots = [(node.module.split(".")[0], node)]
+            for root, imp in roots:
+                reason = BANNED_IMPORT_ROOTS.get(root)
+                if reason is not None:
+                    yield self.finding(
+                        mod,
+                        imp.lineno,
+                        f"import of {root!r} in sim-pure package "
+                        f"{mod.module} ({reason})",
+                        hint="keep protocol code runtime-agnostic; "
+                        "wall-clock/async integrations live in repro.runtime",
+                    )

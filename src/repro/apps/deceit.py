@@ -19,10 +19,10 @@ function of k, and updates lost when the primary crashes mid-stream.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.catocs import GroupInstrumentation, HeartbeatDetector, ViewManager
+from repro.catocs import HeartbeatDetector, ViewManager
 from repro.catocs.member import GroupMember
 from repro.sim.failure import FailureInjector
 from repro.sim.kernel import Simulator

@@ -23,8 +23,8 @@ with the in-progress hole checked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.catocs import HeartbeatDetector, ViewManager
 from repro.catocs.member import GroupMember

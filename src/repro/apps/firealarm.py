@@ -18,11 +18,11 @@ wins no matter when "fire out" straggles in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, List
 
 from repro.catocs import build_member
-from repro.sim.clock import ClockSyncService, LocalClock, make_skewed_clocks
+from repro.sim.clock import ClockSyncService, make_skewed_clocks
 from repro.sim.kernel import Simulator
 from repro.sim.network import LinkModel, Network
 from repro.sim.trace import EventTrace

@@ -16,12 +16,12 @@ bought no asynchrony that durability-respecting replication wouldn't.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.sim.failure import FailureInjector
 from repro.sim.kernel import Simulator
 from repro.sim.network import LinkModel, Network
-from repro.txn.replication import ReplicaServer, ReplicatedStoreClient, WriteResult
+from repro.txn.replication import ReplicaServer, ReplicatedStoreClient
 
 
 @dataclass

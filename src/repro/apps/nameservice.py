@@ -21,8 +21,7 @@ with global in-flight traffic (E19 quantifies).
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.kernel import Simulator

@@ -25,7 +25,7 @@ holds) and absolute error versus the true temperature.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.catocs import build_member
@@ -33,7 +33,6 @@ from repro.catocs.member import GroupMember
 from repro.sim.failure import FailureInjector
 from repro.sim.kernel import Simulator
 from repro.sim.network import LinkModel, Network
-from repro.sim.process import Process
 from repro.statelevel.realtime import (
     LatestValueRegister,
     SensorSmoother,

@@ -12,8 +12,7 @@ after backoff.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.detect.kofn import KofNMonitor, KofNReport

@@ -21,8 +21,8 @@ stale "start" when it trails the newer "stop".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
 
 from repro.catocs import build_member
 from repro.catocs.member import GroupMember

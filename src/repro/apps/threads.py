@@ -18,8 +18,8 @@ fix is the same version counter, now on the shared data structure itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, List
 
 from repro.catocs import build_member
 from repro.catocs.member import GroupMember

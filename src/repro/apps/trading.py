@@ -20,7 +20,7 @@ the view consistent without any multicast ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.catocs import build_member
 from repro.sim.kernel import Simulator

@@ -276,7 +276,10 @@ class BatchLayer(ProtocolLayer):
         self._flush_armed = False
         queues, self._queues = self._queues, {}
         member = self.member
-        for dst, payloads in queues.items():
+        # Flush in enqueue order deliberately: it mirrors the send order the
+        # unbatched stack would have produced this tick, which the seed
+        # reports are calibrated against.
+        for dst, payloads in queues.items():  # repro: ignore[DET003]
             if len(payloads) == 1:
                 self.singles_sent += 1
                 Process.send(member, dst, payloads[0])

@@ -17,7 +17,7 @@ channel silently breaks the cut — exercised in the tests.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.catocs.member import GroupMember
 from repro.sim.kernel import Simulator

@@ -14,8 +14,8 @@ snapshot is taken, while a CATOCS-based solution pays ordering overhead on
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network

@@ -16,7 +16,7 @@ sequence numbers, and reports only true deadlocks once the facts are stable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 

@@ -17,8 +17,8 @@ goes quiet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network

@@ -11,7 +11,7 @@ sequence number, and the monitor's cycle test reports only true deadlocks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.kernel import Simulator

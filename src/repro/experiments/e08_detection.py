@@ -18,7 +18,7 @@ Three approaches over the same 2PL transaction substrate:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.detect.checkpoint import CheckpointCoordinator, CheckpointParticipant
 from repro.detect.waitfor import DeadlockMonitor, WaitForGraph, WaitForReporter

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.catocs import build_group
-from repro.experiments.harness import ExperimentResult, Table, mean
+from repro.experiments.harness import ExperimentResult, Table
 from repro.sim import LinkModel, Network, Simulator
 
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Tuple
 
 from repro.catocs import build_group, build_member
 from repro.catocs.member import GroupMember
-from repro.experiments.harness import ExperimentResult, Table, mean
+from repro.experiments.harness import ExperimentResult, Table
 from repro.sim import LinkModel, Network, Simulator
 
 

@@ -11,7 +11,7 @@ a running causal-multicast group with this structure and measures both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Set
 
 
 @dataclass

@@ -12,7 +12,7 @@ tens-of-milliseconds argument).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.sim.kernel import Simulator
 

@@ -15,7 +15,7 @@ explicitly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Type
 
 from repro.sim.kernel import Simulator, Timer
 from repro.sim.network import Network, Packet

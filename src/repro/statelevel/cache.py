@@ -15,7 +15,7 @@ groups drawn in experiment E14.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 

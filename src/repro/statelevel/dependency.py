@@ -16,7 +16,7 @@ a stale option price is displayed against a newer option price.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 Dependency = Tuple[str, int]  # (base object id, base version)
 

@@ -251,7 +251,9 @@ class OccClient(Process):
             self._finish(active, True, "")
             return
         active.participants = set(by_server)
-        for server, (read_set, write_set) in by_server.items():
+        # Canonical participant order: validate requests go out sorted by
+        # server id, not in the order the transaction happened to touch keys.
+        for server, (read_set, write_set) in sorted(by_server.items()):
             self.send(
                 server,
                 OccValidate(

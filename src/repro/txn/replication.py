@@ -23,7 +23,7 @@ gives up (experiment E09 exhibits the resulting lost updates).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.sim.kernel import Simulator

@@ -21,7 +21,7 @@ full serializability over a fully versioned history).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.detect.waitfor import WaitForGraph
 

@@ -11,12 +11,12 @@ exactly this class of rejection.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.sim.process import Process
-from repro.txn.locks import LockManager, LockMode, LockRequestState
+from repro.txn.locks import LockManager, LockRequestState
 from repro.txn.messages import (
     Decision,
     DecisionAck,
@@ -133,7 +133,9 @@ class ResourceServer(Process):
         txn_id = prepare.txn_id
         writes = self.staged.get(txn_id, {})
         if self.constraint is not None:
-            for key, value in writes.items():
+            # Sorted so the refusal names the smallest violating key, not
+            # whichever key the client happened to stage first.
+            for key, value in sorted(writes.items()):
                 reason = self.constraint(key, value, self.store)
                 if reason is not None:
                     self.refusals += 1

@@ -9,8 +9,8 @@ acknowledged, and recovery replays committed records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 
 class StableStorage:

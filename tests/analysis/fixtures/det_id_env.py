@@ -1,0 +1,29 @@
+"""Fixture: id()-comparison and environment-branch violations."""
+
+import os
+
+
+def bad_id_equality(a, b):
+    return id(a) == id(b)  # EXPECT[DET004]
+
+
+def bad_id_membership(item, pool):
+    return id(item) in pool  # EXPECT[DET004]
+
+
+def bad_id_sort_key(items):
+    return sorted(items, key=id)  # EXPECT[DET004]
+
+
+def bad_env_branch():
+    if os.environ.get("REPRO_FAST"):  # EXPECT[DET005]
+        return "fast"
+    if os.getenv("REPRO_MODE") == "slow":  # EXPECT[DET005]
+        return "slow"
+    return "default"
+
+
+def fine_env_passthrough(config):
+    if config.fast:
+        return "fast"
+    return "default"

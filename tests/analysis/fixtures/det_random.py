@@ -1,0 +1,24 @@
+"""Fixture: global-random violations."""
+
+import random
+from random import choice
+
+
+def bad_draw():
+    return random.random()  # EXPECT[DET002]
+
+
+def bad_choice(options):
+    return choice(options)  # EXPECT[DET002]
+
+
+def bad_shuffle(items):
+    random.shuffle(items)  # EXPECT[DET002]
+
+
+def fine_seeded_generator(seed):
+    return random.Random(seed)
+
+
+def fine_kernel_rng(sim):
+    return sim.rng.random()

@@ -1,0 +1,24 @@
+"""Fixture: the same violations as elsewhere, silenced by suppressions.
+
+The analyser must report nothing for this file.
+"""
+
+import time
+
+
+def suppressed_wallclock():
+    return time.time()  # repro: ignore[DET001]
+
+
+def suppressed_everything(items):
+    out = []
+    for item in set(items):  # repro: ignore
+        out.append(item)
+    return out
+
+
+def suppressed_on_loop_header(proc, left, right):
+    # Suppression sits on the for header; the sink is two lines below.
+    for key in set(left) | set(right):  # repro: ignore[DET003]
+        if key:
+            proc.send(key, "ping")

@@ -1,0 +1,61 @@
+"""Fixture: unordered-iteration violations and their sorted() repairs."""
+
+
+def bad_set_append(items):
+    out = []
+    for item in set(items):  # EXPECT[DET003]
+        out.append(item)
+    return out
+
+
+def bad_set_union_send(proc, left, right):
+    for key in set(left) | set(right):  # EXPECT[DET003]
+        proc.send(key, "ping")
+
+
+def bad_set_literal_schedule(sim, fn):
+    for delay in {1.0, 2.0, 3.0}:  # EXPECT[DET003]
+        sim.call_later(delay, fn)
+
+
+def bad_setcomp_yield(rows):
+    for row in {r.strip() for r in rows}:  # EXPECT[DET003]
+        yield row
+
+
+def bad_list_of_set(items):
+    return list(set(items))  # EXPECT[DET003]
+
+
+def bad_join_over_set(names):
+    return ", ".join(n for n in set(names))  # EXPECT[DET003]
+
+
+def bad_dictview_send(proc, table):
+    for dst in table.keys():  # EXPECT[DET003]
+        proc.send(dst, "hello")
+
+
+def bad_values_timer(member, queues):
+    for queue in queues.values():  # EXPECT[DET003]
+        member.set_timer(0.0, queue.flush)
+
+
+def fine_sorted_set(proc, items):
+    out = []
+    for item in sorted(set(items)):
+        out.append(item)
+        proc.send(item, "ok")
+    return out
+
+
+def fine_commutative_set(items):
+    total = sum(x for x in set(items))
+    return total, max(set(items), default=None)
+
+
+def fine_dictview_append(table):
+    out = []
+    for value in table.values():
+        out.append(value)
+    return out

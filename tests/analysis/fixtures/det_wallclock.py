@@ -1,0 +1,24 @@
+"""Fixture: wall-clock violations.  ``# EXPECT[rule]`` marks each expected
+finding line; the fixture tests collect these markers and compare them to
+what the rules actually report."""
+
+import time
+from datetime import date, datetime
+
+
+def bad_timestamp():
+    return time.time()  # EXPECT[DET001]
+
+
+def bad_monotonic():
+    started = time.monotonic()  # EXPECT[DET001]
+    return time.perf_counter() - started  # EXPECT[DET001]
+
+
+def bad_datetime():
+    stamp = datetime.now()  # EXPECT[DET001]
+    return stamp, date.today()  # EXPECT[DET001]
+
+
+def fine_virtual_time(sim):
+    return sim.now

@@ -1,0 +1,25 @@
+"""Fixture: spec-string violations against the real layer registry."""
+
+
+def bad_explicit_spec(build):
+    return build("dedup|nonexistent|causal")  # EXPECT[PROTO002]
+
+
+def bad_discipline_keyword(build):
+    return build(discipline="not-a-discipline")  # EXPECT[PROTO002]
+
+
+def bad_shape_spec(build):
+    return build("causal|stability|dedup")  # EXPECT[PROTO002]
+
+
+def fine_alias(build):
+    return build(discipline="hybrid-causal")
+
+
+def fine_explicit(build):
+    return build("dedup|batch|stability|causal")
+
+
+def fine_regex_not_a_spec(matcher):
+    return matcher(r"PASS|FAIL|CRASH")

@@ -1,0 +1,76 @@
+"""Baseline round-trip, counted absorption, and schema validation."""
+
+import json
+
+import pytest
+
+from repro.analysis import baseline
+from repro.analysis.finding import Severity, make_finding
+
+
+def _finding(rule="DET001", path="src/repro/x.py", line=10,
+             context="t = time.time()", message="wall clock"):
+    return make_finding(rule, Severity.ERROR, path, line, message,
+                        source_line=context)
+
+
+def test_round_trip(tmp_path):
+    findings = [_finding(), _finding(rule="DET003", line=20,
+                                     context="for k in set(keys):")]
+    path = tmp_path / "base.json"
+    baseline.save(findings, path)
+    loaded = baseline.load(path)
+    assert loaded == {f.fingerprint: 1 for f in findings}
+
+    fresh, grandfathered = baseline.apply(findings, loaded)
+    assert fresh == []
+    assert grandfathered == findings
+
+
+def test_counted_absorption(tmp_path):
+    # Two identical fingerprints baselined; a third copy is fresh.
+    twin = [_finding(line=10), _finding(line=30)]
+    path = tmp_path / "base.json"
+    baseline.save(twin, path)
+    loaded = baseline.load(path)
+    assert loaded[twin[0].fingerprint] == 2
+
+    triplet = twin + [_finding(line=50)]
+    fresh, grandfathered = baseline.apply(triplet, loaded)
+    assert len(grandfathered) == 2
+    assert fresh == [triplet[2]]
+
+
+def test_line_move_does_not_invalidate():
+    known = {_finding(line=10).fingerprint: 1}
+    fresh, grandfathered = baseline.apply([_finding(line=99)], known)
+    assert fresh == []
+    assert len(grandfathered) == 1
+
+
+def test_context_edit_invalidates():
+    known = {_finding().fingerprint: 1}
+    moved = _finding(context="t = time.time()  # tweaked")
+    fresh, _ = baseline.apply([moved], known)
+    assert fresh == [moved]
+
+
+def test_wrong_schema_rejected(tmp_path):
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps({"schema": "something/else", "findings": []}))
+    with pytest.raises(ValueError, match="schema"):
+        baseline.load(path)
+
+
+def test_saved_file_is_sorted_and_diffable(tmp_path):
+    findings = [
+        _finding(path="src/repro/zzz.py"),
+        _finding(path="src/repro/aaa.py"),
+        _finding(rule="DET005", path="src/repro/aaa.py"),
+    ]
+    path = tmp_path / "base.json"
+    baseline.save(findings, path)
+    entries = json.loads(path.read_text())["findings"]
+    keys = [(e["rule"], e["path"], e["context"]) for e in entries]
+    assert keys == sorted(keys)
+    assert path.read_text().endswith("\n")

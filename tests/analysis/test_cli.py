@@ -1,0 +1,105 @@
+"""End-to-end CLI contract: exit codes, JSON schema, the baseline workflow.
+
+These run the analyser exactly as CI does — ``python -m repro.analysis`` in
+a subprocess — so the exit-code contract (0 clean / 1 fresh findings /
+2 usage error) is pinned where it matters.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_cli(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *map(str, argv)],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=300,
+    )
+
+
+def test_repo_is_clean_at_head():
+    proc = run_cli()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_violation_fixture_fails_the_gate():
+    proc = run_cli(FIXTURES / "det_wallclock.py")
+    assert proc.returncode == 1
+    assert "DET001" in proc.stdout
+
+
+def test_json_format_schema():
+    proc = run_cli(FIXTURES / "det_wallclock.py", "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["schema"] == "repro.analysis/v1"
+    assert payload["summary"]["total"] == len(payload["findings"]) > 0
+    first = payload["findings"][0]
+    for key in ("rule", "severity", "path", "line", "message", "hint"):
+        assert key in first
+
+
+def test_out_writes_artifact(tmp_path):
+    artifact = tmp_path / "report.json"
+    proc = run_cli(FIXTURES / "det_wallclock.py", "--format", "json",
+                   "--out", artifact)
+    assert proc.returncode == 1
+    assert json.loads(artifact.read_text()) == json.loads(proc.stdout)
+
+
+def test_update_baseline_then_pass(tmp_path):
+    base = tmp_path / "fixture-baseline.json"
+    wrote = run_cli(FIXTURES / "det_wallclock.py",
+                    "--update-baseline", "--baseline", base)
+    assert wrote.returncode == 0
+    assert base.is_file()
+
+    gated = run_cli(FIXTURES / "det_wallclock.py", "--baseline", base)
+    assert gated.returncode == 0, gated.stdout + gated.stderr
+    assert "baselined" in gated.stdout
+
+
+def test_missing_explicit_baseline_is_usage_error(tmp_path):
+    proc = run_cli(FIXTURES / "det_wallclock.py",
+                   "--baseline", tmp_path / "absent.json")
+    assert proc.returncode == 2
+    assert "cannot read baseline" in proc.stderr
+
+
+def test_bad_root_is_usage_error(tmp_path):
+    proc = run_cli("--root", tmp_path)
+    assert proc.returncode == 2
+    assert "repo root" in proc.stderr
+
+
+def test_list_rules_covers_all_families():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                    "PROTO001", "PROTO002", "PROTO003", "PROTO004",
+                    "PUR001"):
+        assert rule_id in proc.stdout
+
+
+def test_output_is_hash_seed_stable():
+    outputs = set()
+    for seed in ("0", "1", "12345"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env["PYTHONHASHSEED"] = seed
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis",
+             str(FIXTURES / "det_unordered.py"), "--format", "json"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=300,
+        )
+        outputs.add(proc.stdout)
+    assert len(outputs) == 1

@@ -1,0 +1,197 @@
+"""Contract rules against deliberately broken fakes — and the real registry.
+
+The fakes prove each conformance check can actually fail; the real-registry
+tests prove the shipping layers conform.
+"""
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.engine import Project, load_project
+from repro.analysis.rules.contracts import (
+    HandlerCoverageRule,
+    LayerSurfaceRule,
+    PickleSafetyRule,
+    SpecStringRule,
+)
+from repro.catocs.messages import DataMessage, Nak
+from repro.catocs.stack import ProtocolLayer
+
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _project() -> Project:
+    """A bare project: enough for rules with injected collaborators."""
+    return Project(root=REPO_ROOT)
+
+
+def _surface_findings(registry, kinds):
+    rule = LayerSurfaceRule(registry=registry, kinds=kinds, base=ProtocolLayer)
+    return list(rule.check_project(_project()))
+
+
+# -- the broken fakes ------------------------------------------------------------
+
+
+class RogueLayer:
+    """Not a ProtocolLayer at all."""
+
+    name = "rogue"
+    kind = "transport"
+
+
+class MisnamedLayer(ProtocolLayer):
+    name = "something-else"
+    kind = "transport"
+
+
+class WrongKindLayer(ProtocolLayer):
+    name = "wrongkind"
+    kind = "transport"
+
+
+class BrokenArityLayer(ProtocolLayer):
+    name = "arity"
+    kind = "transport"
+
+    def receive_up(self):  # type: ignore[override] - deliberately wrong
+        return None
+
+
+class HollowOrderingLayer(ProtocolLayer):
+    """Claims to be an ordering discipline but lacks the delivery-gate API."""
+
+    name = "hollow"
+    kind = "ordering"
+
+
+class ConformantLayer(ProtocolLayer):
+    name = "conformant"
+    kind = "transport"
+
+
+def test_non_class_factory_flagged():
+    findings = _surface_findings({"lam": lambda member: None}, {"lam": "transport"})
+    assert len(findings) == 1
+    assert "non-class factory" in findings[0].message
+
+
+def test_non_subclass_flagged():
+    findings = _surface_findings({"rogue": RogueLayer}, {"rogue": "transport"})
+    assert any("not a ProtocolLayer subclass" in f.message for f in findings)
+
+
+def test_name_mismatch_flagged():
+    findings = _surface_findings(
+        {"misnamed": MisnamedLayer}, {"misnamed": "transport"}
+    )
+    assert any("declares name='something-else'" in f.message for f in findings)
+
+
+def test_kind_mismatch_flagged():
+    findings = _surface_findings(
+        {"wrongkind": WrongKindLayer}, {"wrongkind": "ordering"}
+    )
+    assert any("declares kind='transport'" in f.message for f in findings)
+
+
+def test_broken_arity_flagged():
+    findings = _surface_findings({"arity": BrokenArityLayer}, {"arity": "transport"})
+    assert any(
+        "receive_up() does not accept" in f.message for f in findings
+    )
+
+
+def test_ordering_layer_without_gate_api_flagged():
+    findings = _surface_findings(
+        {"hollow": HollowOrderingLayer}, {"hollow": "ordering"}
+    )
+    missing = {f.message.split(" missing the ")[-1] for f in findings}
+    assert "stamp() surface method" in missing
+    assert "release_next() surface method" in missing
+
+
+def test_conformant_fake_layer_passes():
+    assert _surface_findings(
+        {"conformant": ConformantLayer}, {"conformant": "transport"}
+    ) == []
+
+
+def test_real_registry_conforms():
+    assert list(LayerSurfaceRule().check_project(_project())) == []
+
+
+# -- handler coverage -------------------------------------------------------------
+
+
+@dataclass
+class OrphanMessage:
+    """A wire message no handler family covers."""
+
+    group: str
+
+
+def test_orphan_message_flagged():
+    rule = HandlerCoverageRule(
+        handled_names={"DataMessage", "TransportControl"},
+        message_classes=[OrphanMessage],
+    )
+    findings = list(rule.check_project(_project()))
+    assert len(findings) == 1
+    assert "OrphanMessage" in findings[0].message
+
+
+def test_mro_walk_covers_marker_subclasses():
+    rule = HandlerCoverageRule(
+        handled_names={"DataMessage", "TransportControl"},
+        message_classes=[DataMessage, Nak],  # Nak is TransportControl
+    )
+    assert list(rule.check_project(_project())) == []
+
+
+def test_real_messages_all_covered():
+    # The default rule derives handler registrations by scanning src, so it
+    # needs a fully loaded project, not a bare one.
+    project = load_project(root=REPO_ROOT, include_docs=False)
+    assert list(HandlerCoverageRule().check_project(project)) == []
+
+
+# -- pickle safety ----------------------------------------------------------------
+
+
+def test_nested_class_not_pickle_safe():
+    @dataclass
+    class Hidden:
+        x: int
+
+    rule = PickleSafetyRule(message_classes=[Hidden])
+    findings = list(rule.check_project(_project()))
+    assert len(findings) == 1
+    assert "not at module top level" in findings[0].message
+
+
+def test_module_level_class_pickle_safe():
+    rule = PickleSafetyRule(message_classes=[OrphanMessage, DataMessage])
+    assert list(rule.check_project(_project())) == []
+
+
+def test_real_messages_pickle_safe():
+    assert list(PickleSafetyRule().check_project(_project())) == []
+
+
+# -- spec strings ------------------------------------------------------------------
+
+
+def test_spec_rule_injectable_resolver():
+    calls = []
+
+    def resolver(text):
+        calls.append(text)
+        if "bad" in text:
+            raise ValueError("nope")
+
+    rule = SpecStringRule(resolver=resolver, known_names={"dedup", "causal"})
+    project = Project(root=Path(__file__).resolve().parents[2])
+    assert list(rule.check_project(project)) == []  # nothing to scan
+    assert calls == []

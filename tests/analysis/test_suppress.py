@@ -1,0 +1,64 @@
+"""The suppression-comment grammar."""
+
+from repro.analysis.suppress import is_suppressed, parse_suppressions
+
+
+def test_single_rule():
+    table = parse_suppressions("x = 1  # repro: ignore[DET001]\n")
+    assert table == {1: frozenset({"DET001"})}
+
+
+def test_multiple_rules_with_spaces():
+    table = parse_suppressions("x = 1  # repro: ignore[DET003, PROTO002]\n")
+    assert table[1] == frozenset({"DET003", "PROTO002"})
+
+
+def test_bare_ignore_means_all():
+    table = parse_suppressions("x = 1  # repro: ignore\n")
+    assert table == {1: None}
+    assert is_suppressed(table, "ANYTHING", 1)
+
+
+def test_empty_brackets_suppress_nothing():
+    table = parse_suppressions("x = 1  # repro: ignore[]\n")
+    assert table == {}
+
+
+def test_case_insensitive_rule_ids():
+    table = parse_suppressions("x = 1  # repro: ignore[det001]\n")
+    assert is_suppressed(table, "DET001", 1)
+
+
+def test_prose_before_marker_does_not_match():
+    # The marker must start the comment's directive — a mention of the
+    # grammar inside prose must not silence the line.
+    table = parse_suppressions("# see docs about repro: semantics\n")
+    assert not is_suppressed(table, "DET001", 1)
+
+
+def test_spacing_variants():
+    for text in (
+        "x  #repro:ignore[DET001]",
+        "x  # repro:  ignore[DET001]",
+        "x  #  repro: ignore[ DET001 ]",
+    ):
+        table = parse_suppressions(text + "\n")
+        assert is_suppressed(table, "DET001", 1), text
+
+
+def test_multiline_statement_coverage():
+    # is_suppressed accepts several candidate lines; the engine passes the
+    # finding line plus the enclosing statement's first line.
+    table = parse_suppressions(
+        "for k in (  # repro: ignore[DET003]\n"
+        "    set(items)\n"
+        "):\n"
+        "    out.append(k)\n"
+    )
+    assert is_suppressed(table, "DET003", 2, 1)  # finding on 2, header on 1
+    assert not is_suppressed(table, "DET003", 2)
+
+
+def test_wrong_rule_not_suppressed():
+    table = parse_suppressions("x = 1  # repro: ignore[DET001]\n")
+    assert not is_suppressed(table, "DET002", 1)

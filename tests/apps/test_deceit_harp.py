@@ -1,6 +1,5 @@
 """Tests for the replicated file services (Section 4.4)."""
 
-import pytest
 
 from repro.apps.deceit import run_deceit
 from repro.apps.harp import run_harp

@@ -1,7 +1,7 @@
 """Agreed total order under member failure: liveness via suspicion + the
 view change deciding the fate of in-flight ordering decisions."""
 
-from repro.catocs import HeartbeatDetector, build_group
+from repro.catocs import build_group
 from repro.sim import FailureInjector, LinkModel, Network, Simulator
 
 

@@ -10,7 +10,7 @@ link jitter, loss) and the properties assert the CATOCS contracts:
   message (fail-free runs).
 """
 
-from typing import Dict, List
+from typing import Dict
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -7,7 +7,7 @@ it is taken — this is the canonical correctness check for consistent cuts.
 
 from typing import Dict
 
-from repro.detect import ChandyLamportParticipant, SnapshotResult
+from repro.detect import ChandyLamportParticipant
 from repro.sim import LinkModel, Network, Simulator
 
 

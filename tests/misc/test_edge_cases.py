@@ -1,6 +1,5 @@
 """Edge-case coverage across modules: the small paths nothing else hits."""
 
-import pytest
 
 from repro.catocs import build_group
 from repro.catocs.member import _label

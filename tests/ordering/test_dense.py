@@ -10,7 +10,7 @@ semantic change.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ordering import ClockDomain, DenseVectorClock, VectorClock
+from repro.ordering import ClockDomain, VectorClock
 from repro.ordering.dense import bss_deliverable, group_domain
 
 PIDS = ["p", "q", "r", "s"]

@@ -1,7 +1,7 @@
 """Tests for the Information Bus framework."""
 
 from repro.sim import LinkModel, Network, Simulator
-from repro.statelevel.bus import BusNode, build_bus, subject_matches
+from repro.statelevel.bus import build_bus, subject_matches
 from repro.statelevel.dependency import Stamped
 
 

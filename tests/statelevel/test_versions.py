@@ -1,6 +1,5 @@
 """Tests for versioned stores and prescriptive ordering."""
 
-import random
 
 from hypothesis import given
 from hypothesis import strategies as st

@@ -8,11 +8,7 @@ from repro.sim import LinkModel, Network, Simulator
 from repro.txn import OccClient, OccServer, ResourceServer, Transaction, TransactionCoordinator
 from repro.txn.coordinator import update
 from repro.txn.occ import OccTransaction
-from repro.txn.serializability import (
-    HistoryRecorder,
-    SerializabilityVerdict,
-    check_serializable,
-)
+from repro.txn.serializability import HistoryRecorder, check_serializable
 
 
 # -- unit tests of the checker itself -----------------------------------------------
