@@ -14,8 +14,8 @@ from typing import List, Optional
 
 from repro.analysis import baseline as baseline_mod
 from repro.analysis.engine import default_root, run_analysis
-from repro.analysis.report import render_json, render_text
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.report import render_json, render_sarif, render_text
+from repro.analysis.rules import ALL_RULES, rule_catalogue
 
 DEFAULT_BASELINE = "analysis-baseline.json"
 
@@ -36,8 +36,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="repository root (default: auto-detected)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text; sarif for code scanning)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--exclude-rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to skip",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -63,8 +71,75 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_graph_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analysis graph",
+        description="Emit the interprocedural message-flow graph "
+        "(send sites vs typed-dispatch handler surface).",
+    )
+    parser.add_argument(
+        "--format", choices=("json", "dot"), default="json",
+        help="output format (default: json)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root (default: auto-detected)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the graph to this path",
+    )
+    return parser
+
+
+def graph_main(argv: List[str]) -> int:
+    from repro.analysis.engine import load_project
+    from repro.analysis.flowgraph import flow_graph_for
+
+    args = build_graph_parser().parse_args(argv)
+    root = (args.root or default_root()).resolve()
+    if not (root / "src" / "repro").is_dir():
+        print(f"error: {root} does not look like the repo root "
+              "(no src/repro)", file=sys.stderr)
+        return 2
+    project = load_project(root=root, include_docs=False)
+    flow = flow_graph_for(project)
+    if args.format == "dot":
+        report = flow.to_dot()
+    else:
+        import json
+
+        report = json.dumps(flow.to_json(), indent=2, sort_keys=True) + "\n"
+    sys.stdout.write(report)
+    if args.out is not None:
+        args.out.write_text(report, encoding="utf-8")
+    return 0
+
+
+def _select_rules(
+    include: Optional[str], exclude: Optional[str]
+) -> "tuple[Optional[List], Optional[str]]":
+    """Resolve --rules/--exclude-rules to a rule list (None = all)."""
+    if include is None and exclude is None:
+        return None, None
+    catalogue = rule_catalogue()
+    wanted = list(catalogue)
+    if include is not None:
+        wanted = [r.strip() for r in include.split(",") if r.strip()]
+    dropped = set()
+    if exclude is not None:
+        dropped = {r.strip() for r in exclude.split(",") if r.strip()}
+    unknown = [r for r in list(wanted) + sorted(dropped) if r not in catalogue]
+    if unknown:
+        return None, f"unknown rule id(s): {', '.join(sorted(set(unknown)))}"
+    return [catalogue[r] for r in wanted if r not in dropped], None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw[:1] == ["graph"]:
+        return graph_main(raw[1:])
+    args = build_parser().parse_args(raw)
 
     if args.list_rules:
         for rule in ALL_RULES:
@@ -77,10 +152,16 @@ def main(argv: Optional[List[str]] = None) -> int:
               "(no src/repro)", file=sys.stderr)
         return 2
 
+    rules, rule_error = _select_rules(args.rules, args.exclude_rules)
+    if rule_error is not None:
+        print(f"error: {rule_error}", file=sys.stderr)
+        return 2
+
     try:
         result = run_analysis(
             root=root,
             paths=args.paths or None,
+            rules=rules,
             include_docs=not args.no_docs,
         )
     except Exception as exc:  # pragma: no cover - defensive
@@ -111,7 +192,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         fresh, grandfathered = baseline_mod.apply(result.findings, known)
 
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.format]
     report = renderer(fresh, grandfathered, result.suppressed)
     sys.stdout.write(report)
     if args.out is not None:

@@ -49,6 +49,80 @@ def render_json(
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+def render_sarif(
+    fresh: List[Finding],
+    grandfathered: List[Finding],
+    suppressed: int,
+) -> str:
+    """SARIF 2.1.0 — the schema GitHub code scanning ingests.
+
+    Baselined findings are included as suppressed results (kind
+    ``external``) so the code-scanning view shows the full picture while
+    only fresh findings surface as annotations.
+    """
+    from repro.analysis.rules import rule_catalogue
+
+    def result(finding: Finding, suppressed_result: bool) -> Dict[str, Any]:
+        text = finding.message
+        if finding.hint:
+            text += f" (hint: {finding.hint})"
+        entry: Dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": finding.severity.value,
+            "message": {"text": text},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(finding.line, 1)},
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "reproAnalysis/v1": "/".join(finding.fingerprint)
+            },
+        }
+        if suppressed_result:
+            entry["suppressions"] = [
+                {"kind": "external", "justification": "analysis-baseline.json"}
+            ]
+        return entry
+
+    payload: Dict[str, Any] = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": rule.title},
+                                "defaultConfiguration": {
+                                    "level": rule.severity.value
+                                },
+                            }
+                            for rule_id, rule in sorted(
+                                rule_catalogue().items()
+                            )
+                        ],
+                    }
+                },
+                "results": [result(f, False) for f in fresh]
+                + [result(f, True) for f in grandfathered],
+                "properties": {"suppressedInline": suppressed},
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def _severity_counts(findings: List[Finding]) -> Dict[str, int]:
     counts = {"error": 0, "warning": 0}
     for finding in findings:

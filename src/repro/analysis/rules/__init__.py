@@ -85,7 +85,20 @@ def _build_all_rules() -> List[Rule]:
         UnseededRandomRule,
         WallClockRule,
     )
+    from repro.analysis.rules.flows import (
+        DeadMessageRule,
+        LayerBypassRule,
+        OrphanHandlerRule,
+        SendCycleRule,
+    )
     from repro.analysis.rules.purity import ImpureImportRule
+    from repro.analysis.rules.races import (
+        HiddenChannelRule,
+        LayerAliasRule,
+        MutableDefaultRule,
+        SharedModuleStateRule,
+        StampAfterSendRule,
+    )
 
     return [
         WallClockRule(),
@@ -98,6 +111,15 @@ def _build_all_rules() -> List[Rule]:
         SpecStringRule(),
         HandlerCoverageRule(),
         PickleSafetyRule(),
+        HiddenChannelRule(),
+        SharedModuleStateRule(),
+        MutableDefaultRule(),
+        StampAfterSendRule(),
+        LayerAliasRule(),
+        DeadMessageRule(),
+        OrphanHandlerRule(),
+        SendCycleRule(),
+        LayerBypassRule(),
     ]
 
 

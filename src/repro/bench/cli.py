@@ -77,6 +77,8 @@ def _measure(args: argparse.Namespace) -> Dict[str, Any]:
             k: round(v, 1)
             for k, v in workloads.clock_stamp_ns(repeats=repeats).items()
         },
+        "analysis_runtime_s": round(
+            workloads.analysis_runtime_s(repeats=min(repeats, 2)), 3),
     }
     if not args.skip_suite:
         metrics["suite"] = _suite_wall_clock(args.jobs)

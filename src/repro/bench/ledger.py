@@ -35,6 +35,7 @@ GATED_METRICS: Dict[str, bool] = {
     "multicast_us_per_delivery.batched-causal": False,
     "clock_compare_ns.dense": False,
     "clock_stamp_ns.dense": False,
+    "analysis_runtime_s": False,
     "suite.sequential_s": False,
 }
 

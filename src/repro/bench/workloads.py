@@ -112,6 +112,27 @@ def multicast_us_per_delivery(
     return out
 
 
+# -- static analysis ----------------------------------------------------------------
+
+
+def analysis_runtime_s(repeats: int = 2) -> float:
+    """Wall-clock seconds for the full static-analysis gate.
+
+    The analyser runs on every push (the ``analysis`` CI job) and builds the
+    interprocedural flow graph each time; the ledger keeps that under control
+    as the rule set and the codebase grow.  In-process on purpose — the
+    interpreter start-up tax is the same for every record and would only add
+    noise to the trend.
+    """
+    from repro.analysis.engine import run_analysis
+
+    def run() -> None:
+        result = run_analysis()
+        assert result.project.src_modules
+
+    return best_of(run, repeats)
+
+
 # -- clock hot paths ----------------------------------------------------------------
 
 

@@ -104,7 +104,11 @@ class ActivityReporter(Process):
 
     def _tick(self) -> None:
         self._seq += 1
-        report = ActivityReport(
+        # Deliberate hidden channel: the reporter samples the co-located
+        # worker's counters out of band, exactly the ghost communication the
+        # paper's termination-detection study needs CATOCS to miss.  Routing
+        # these reads through messages would destroy the experiment.
+        report = ActivityReport(  # repro: ignore[RACE001]
             reporter=self.worker.pid,
             seq=self._seq,
             sent=self.worker.sent_count,

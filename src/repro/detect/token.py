@@ -97,7 +97,11 @@ class TokenReporter(Process):
 
     def _tick(self) -> None:
         self._seq += 1
-        report = TokenReport(
+        # Deliberate hidden channel: the reporter reads its ring member's
+        # counters directly — the out-of-band observation the token-loss
+        # experiment studies.  A message round-trip here would perturb the
+        # very timeline being measured.
+        report = TokenReport(  # repro: ignore[RACE001]
             reporter=self.member.pid,
             seq=self._seq,
             forwards=self.member.forwards,

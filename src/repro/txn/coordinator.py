@@ -190,7 +190,12 @@ class TransactionCoordinator(Process):
         if active is None or active.phase != "ops" or active.step != step:
             return
         server = active.txn.ops[step].server
-        if self.network.process(server).alive:
+        # Deliberate hidden channel: the coordinator consults a *perfect*
+        # failure oracle so the experiments isolate ordering effects from
+        # failure-detection noise.  A real system would need a detector
+        # (paper Section 4) — routing this through messages would change
+        # every experiment timeline, so the read stays, annotated.
+        if self.network.process(server).alive:  # repro: ignore[RACE001]
             # Still blocked on a lock held by someone: give it more time and
             # leave resolution to deadlock detection / external aborts.
             self.set_timer(self.prepare_timeout, self._op_deadline, txn_id, step)

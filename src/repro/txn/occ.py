@@ -109,7 +109,10 @@ class OccServer(Process):
 
     def on_message(self, src: str, payload: Any) -> None:
         if isinstance(payload, OccRead):
-            self.send(
+            # Read->ReadReply->Read ping-pong is bounded by the fixed read
+            # set of each OCC transaction (a reply triggers the next read
+            # only while unread keys remain), so the tick drains.
+            self.send(  # repro: ignore[FLOW003]
                 src,
                 OccReadReply(
                     txn_id=payload.txn_id,

@@ -1,0 +1,34 @@
+"""RACE001 fixture: hidden channels — direct cross-process state access.
+
+The ``fine_*`` functions pin precision: identity reads and harness-level
+(non-Process) access stay clean.
+"""
+
+from repro.sim.process import Process
+
+
+class Spy(Process):
+    def poll(self) -> int:
+        return self.network.process("other").queue_len  # EXPECT[RACE001]
+
+    def poke(self) -> None:
+        other = self.network.process("other")
+        other.counter = 1  # EXPECT[RACE001]
+
+    def fine_identity(self) -> str:
+        return self.network.process("other").pid
+
+
+class Owner(Process):
+    def __init__(self, sim, pid: str) -> None:
+        super().__init__(sim, pid)
+        self.peer = Spy(sim, "peer")
+
+    def read_peer(self) -> int:
+        return self.peer.hits  # EXPECT[RACE001]
+
+
+def fine_harness_read(network) -> int:
+    # Not inside a Process subclass: harnesses and experiment drivers may
+    # inspect process state freely.
+    return network.process("a").delivered

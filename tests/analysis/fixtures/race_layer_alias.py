@@ -1,0 +1,23 @@
+"""RACE005 fixture: a ProtocolLayer aliasing another layer's internals."""
+
+from repro.catocs.stack import ProtocolLayer, ProtocolStack
+
+
+class BufferLayer(ProtocolLayer):
+    def __init__(self) -> None:
+        self.pending = []
+
+
+class SiphonLayer(ProtocolLayer):
+    def __init__(self) -> None:
+        self.peer: "BufferLayer" = None
+
+    def bind(self, member, stack: "ProtocolStack") -> None:
+        self.stack = stack
+
+    def on_attached(self) -> None:
+        self.shared = self.stack.pending_map  # EXPECT[RACE005]
+        self.stolen = self.peer.pending  # EXPECT[RACE005]
+        # Fine: a *lookup call* resolves at use time through the stack's
+        # API instead of capturing another layer's container.
+        self.stability = self.stack.layer("stability")

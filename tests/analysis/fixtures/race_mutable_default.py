@@ -1,0 +1,26 @@
+"""RACE003 fixture: mutable default arguments on handler/layer methods."""
+
+from repro.catocs.stack import ProtocolLayer
+from repro.sim.process import Process
+
+
+class Collector(Process):
+    def on_batch(self, src: str, items=[]):  # EXPECT[RACE003]
+        return items
+
+
+class PadLayer(ProtocolLayer):
+    def flush(self, pending={}):  # EXPECT[RACE003]
+        return pending
+
+
+class PlainHelper:
+    def fine_not_a_process(self, acc=[]):
+        # Still bad style, but outside the Process/ProtocolLayer surface
+        # this rule guards (generic linters cover it).
+        return acc
+
+
+class Fine(Process):
+    def on_ok(self, src: str, items=None):
+        return items

@@ -1,0 +1,21 @@
+"""RACE002 fixture: module-level mutable state shared across processes."""
+
+from repro.sim.process import Process
+
+PENDING_BY_NODE = {}  # EXPECT[RACE002]
+HISTORY = []  # fine: referenced by a single Process class
+LIMITS = (1, 2, 3)  # fine: immutable
+
+
+class NodeA(Process):
+    def record(self, key: str) -> None:
+        PENDING_BY_NODE[key] = self.pid
+
+
+class NodeB(Process):
+    def drain(self) -> None:
+        PENDING_BY_NODE.clear()
+        HISTORY.append(self.pid)
+
+    def fine_limits(self) -> int:
+        return LIMITS[0]

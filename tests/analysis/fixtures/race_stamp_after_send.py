@@ -1,0 +1,27 @@
+"""RACE004 fixture: payload mutated after it was handed to ``send``."""
+
+from repro.sim.process import Process
+
+
+class Note:
+    def __init__(self) -> None:
+        self.seq = 0
+
+
+class Stamper(Process):
+    def __init__(self, sim, pid: str) -> None:
+        super().__init__(sim, pid)
+        self.add_message_handler(Note, self._on_note)
+
+    def bad_send(self, dst: str) -> None:
+        note = Note()
+        self.send(dst, note)
+        note.seq = 7  # EXPECT[RACE004]
+
+    def fine_send(self, dst: str) -> None:
+        note = Note()
+        note.seq = 7
+        self.send(dst, note)
+
+    def _on_note(self, src: str, note) -> None:
+        self.last_seq = note.seq

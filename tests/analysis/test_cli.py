@@ -89,6 +89,58 @@ def test_list_rules_covers_all_families():
         assert rule_id in proc.stdout
 
 
+def test_rules_filter_selects_only_named_rules():
+    proc = run_cli(FIXTURES / "det_wallclock.py", "--rules", "FLOW001,FLOW002")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "DET001" not in proc.stdout
+
+
+def test_exclude_rules_drops_named_rules():
+    proc = run_cli(FIXTURES / "det_wallclock.py", "--exclude-rules", "DET001")
+    assert "DET001" not in proc.stdout
+
+
+def test_unknown_rule_id_is_usage_error():
+    proc = run_cli("--rules", "BOGUS999")
+    assert proc.returncode == 2
+    assert "unknown rule id" in proc.stderr
+
+
+def test_sarif_format_schema():
+    proc = run_cli(FIXTURES / "det_wallclock.py", "--format", "sarif")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "DET001" in rule_ids and "RACE001" in rule_ids
+    assert any(res["ruleId"] == "DET001" for res in run["results"])
+    first = next(res for res in run["results"] if res["ruleId"] == "DET001")
+    assert "partialFingerprints" in first
+    location = first["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("det_wallclock.py")
+
+
+def test_graph_json_subcommand():
+    proc = run_cli("graph", "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["schema"] == "repro.analysis/flowgraph-v1"
+    names = {entry["name"] for entry in payload["messages"]}
+    assert "DataMessage" in names
+    assert not any(entry["dead"] for entry in payload["messages"])
+    assert not any(entry["orphan"] for entry in payload["messages"])
+
+
+def test_graph_dot_subcommand_writes_artifact(tmp_path):
+    artifact = tmp_path / "flow.dot"
+    proc = run_cli("graph", "--format", "dot", "--out", artifact)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    dot = artifact.read_text()
+    assert dot.startswith("digraph message_flow {")
+    assert '"DataMessage"' in dot
+
+
 def test_output_is_hash_seed_stable():
     outputs = set()
     for seed in ("0", "1", "12345"):

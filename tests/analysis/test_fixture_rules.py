@@ -14,9 +14,12 @@ from repro.analysis.engine import run_analysis
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
 EXPECT_RE = re.compile(r"#\s*EXPECT\[([A-Z0-9]+)\]")
 
-FIXTURE_FILES = sorted(p.name for p in FIXTURES.glob("det_*.py")) + [
-    "proto_spec.py",
-]
+FIXTURE_FILES = (
+    sorted(p.name for p in FIXTURES.glob("det_*.py"))
+    + sorted(p.name for p in FIXTURES.glob("race_*.py"))
+    + sorted(p.name for p in FIXTURES.glob("flow_*.py"))
+    + ["proto_spec.py"]
+)
 
 
 def planted(path: Path):
@@ -52,7 +55,9 @@ def test_fixture_corpus_actually_plants_violations():
     for name in FIXTURE_FILES:
         rules |= {rule for rule, _ in planted(FIXTURES / name)}
     assert {"DET001", "DET002", "DET003", "DET004", "DET005",
-            "PROTO002"} <= rules
+            "PROTO002",
+            "RACE001", "RACE002", "RACE003", "RACE004", "RACE005",
+            "FLOW001", "FLOW002", "FLOW003", "FLOW004"} <= rules
 
 
 def test_fixture_directory_is_excluded_from_repo_scan():

@@ -53,6 +53,13 @@ def test_clock_workloads_time_both_representations():
     assert all(v > 0 for v in list(compare.values()) + list(stamp.values()))
 
 
+def test_analysis_workload_stays_inside_budget():
+    """The static-analysis gate runs on every push; keep it under ten
+    seconds so it never becomes the slow step of the CI pipeline."""
+    elapsed = workloads.analysis_runtime_s(repeats=1)
+    assert 0 < elapsed < 10.0, f"analysis gate took {elapsed:.1f}s"
+
+
 # -- ledger read/write/numbering ---------------------------------------------------
 
 
