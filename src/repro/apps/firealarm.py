@@ -62,12 +62,15 @@ def run_firealarm(
     monitor_latency: float = 120.0,
     furnace_latency: float = 5.0,
     clock_residual: float = 0.5,
+    jitter: float = 0.0,
 ) -> FireAlarmResult:
     """Execute the Figure 3 scenario.
 
     ``monitor_latency`` (R -> Q) must exceed the gap between "fire out" and
     the second "fire" for the anomaly to manifest; the default makes it
-    deterministic.
+    deterministic.  ``jitter`` adds a seeded uniform ``[0, jitter]`` delay
+    per packet on the monitor's straggling links so the anomaly becomes a
+    per-seed probability for the ``--sweep`` campaigns.
     """
     sim = Simulator(seed=seed)
     net = Network(sim, LinkModel(latency=furnace_latency))
@@ -106,9 +109,9 @@ def run_firealarm(
     # the furnace's reports, and crucially P multicasts the second "fire"
     # *before* delivering "fire out" — keeping the two concurrent, as in the
     # paper's figure.  P itself reports quickly.
-    net.set_link("R", "Q", LinkModel(latency=monitor_latency))
-    net.set_link("R", "P", LinkModel(latency=monitor_latency))
-    net.set_link("P", "Q", LinkModel(latency=furnace_latency))
+    net.set_link("R", "Q", LinkModel(latency=monitor_latency, jitter=jitter))
+    net.set_link("R", "P", LinkModel(latency=monitor_latency, jitter=jitter))
+    net.set_link("P", "Q", LinkModel(latency=furnace_latency, jitter=jitter))
 
     def furnace_report(kind: str) -> None:
         furnace.multicast({

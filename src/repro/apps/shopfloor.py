@@ -117,13 +117,17 @@ def run_shopfloor(
     slow_instance_latency: float = 80.0,
     fast_instance_latency: float = 5.0,
     stop_delay: float = 7.0,
+    jitter: float = 0.0,
 ) -> ShopFloorResult:
     """Execute the Figure 2 scenario.
 
     ``slow_instance_latency`` is the link delay from SFC instance 1 (which
     handles "start") to the observer; asymmetry between it and
     ``fast_instance_latency`` is what lets the network invert the hidden
-    semantic order.
+    semantic order.  ``jitter`` adds a seeded uniform ``[0, jitter]`` delay
+    per packet on those asymmetric links, which turns the single anomalous
+    run into a per-seed coin flip — the unit of the ``--sweep`` statistical
+    campaigns (see ``repro.experiments.sweep``).
     """
     sim = Simulator(seed=seed)
     net = Network(sim, LinkModel(latency=fast_instance_latency))
@@ -157,9 +161,12 @@ def run_shopfloor(
     # observer *and* to instance 2 — otherwise instance 2 would deliver the
     # "start" broadcast before multicasting "stop", accidentally handing the
     # semantic order to the causal layer), while instance 2's links fly.
-    net.set_link("sfc1", "clientB", LinkModel(latency=slow_instance_latency))
-    net.set_link("sfc1", "sfc2", LinkModel(latency=slow_instance_latency))
-    net.set_link("sfc2", "clientB", LinkModel(latency=fast_instance_latency))
+    net.set_link("sfc1", "clientB",
+                 LinkModel(latency=slow_instance_latency, jitter=jitter))
+    net.set_link("sfc1", "sfc2",
+                 LinkModel(latency=slow_instance_latency, jitter=jitter))
+    net.set_link("sfc2", "clientB",
+                 LinkModel(latency=fast_instance_latency, jitter=jitter))
 
     # Client A's "start" to instance 1, then client B's "stop" to instance 2
     # (sent only after the start has committed at the database).

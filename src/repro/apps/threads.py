@@ -37,9 +37,9 @@ class MultiThreadedServer(GroupMember):
     """
 
     def __init__(self, sim: Simulator, network: Network, pid: str,
-                 members, **kwargs: Any) -> None:
+                 members, ordering: str = "causal", **kwargs: Any) -> None:
         super().__init__(sim, network, pid, group="mtserver", members=members,
-                         ordering="causal", **kwargs)
+                         ordering=ordering, **kwargs)
         self.shared = VersionedStore()
 
     def handle(self, key: str, value: Any, send_delay: float) -> None:
@@ -69,9 +69,16 @@ def run_thread_channel(
     seed: int = 0,
     thread1_send_delay: float = 20.0,
     thread2_send_delay: float = 1.0,
+    ordering: str = "causal",
 ) -> ThreadChannelResult:
     """Thread 1 writes first but its multicast is scheduled out late;
-    thread 2 writes second and multicasts promptly."""
+    thread 2 writes second and multicasts promptly.
+
+    ``ordering`` picks the discipline for both members — the paper's point
+    is that per-sender FIFO/causal faithfully preserve the *wrong* (send)
+    order, so sweeping disciplines here measures how little the choice
+    helps against an address-space hidden channel.
+    """
     sim = Simulator(seed=seed)
     net = Network(sim, LinkModel(latency=5.0))
     group = ["server", "observer"]
@@ -84,9 +91,9 @@ def run_thread_channel(
         orderer.offer(VersionedValue(key=payload["key"], value=payload["value"],
                                      version=payload["version"]))
 
-    server = MultiThreadedServer(sim, net, "server", group)
+    server = MultiThreadedServer(sim, net, "server", group, ordering=ordering)
     observer = build_member(sim, net, "observer", group="mtserver",
-                            members=group, ordering="causal",
+                            members=group, ordering=ordering,
                             on_deliver=observe)
 
     # Thread 1 handles "start", thread 2 handles "stop", 2ms apart in memory

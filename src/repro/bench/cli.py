@@ -18,44 +18,10 @@ import argparse
 import json
 import os
 import platform
-import subprocess
-import sys
 import time
 from typing import Any, Dict, List, Optional
 
 from repro.bench import ledger, workloads
-
-
-def _suite_wall_clock(jobs: int) -> Dict[str, float]:
-    """Wall-clock seconds for the full experiment suite, sequential and with
-    ``--jobs`` workers, as a child interpreter (what a user actually runs)."""
-    import repro
-
-    env = dict(os.environ)
-    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
-
-    def run(extra: List[str]) -> float:
-        start = time.perf_counter()
-        proc = subprocess.run(
-            [sys.executable, "-m", "repro.experiments", *extra],
-            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
-        )
-        elapsed = time.perf_counter() - start
-        if proc.returncode != 0:
-            raise RuntimeError(
-                f"experiment suite exited {proc.returncode} during benchmarking"
-            )
-        return elapsed
-
-    sequential = run([])
-    parallel = run(["--jobs", str(jobs)])
-    return {
-        "sequential_s": round(sequential, 3),
-        "parallel_s": round(parallel, 3),
-        "jobs": jobs,
-        "speedup": round(sequential / parallel, 3) if parallel else 0.0,
-    }
 
 
 def _measure(args: argparse.Namespace) -> Dict[str, Any]:
@@ -81,17 +47,21 @@ def _measure(args: argparse.Namespace) -> Dict[str, Any]:
             workloads.analysis_runtime_s(repeats=min(repeats, 2)), 3),
     }
     if not args.skip_suite:
-        metrics["suite"] = _suite_wall_clock(args.jobs)
+        metrics["suite"] = workloads.suite_wall_clock(args.jobs)
+        metrics["parallel_sweep"] = workloads.parallel_sweep(args.jobs)
     return metrics
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.engine import effective_cpu_count
+
     record = {
         "schema": ledger.SCHEMA,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "effective_cpu_count": effective_cpu_count(),
         "metrics": _measure(args),
     }
     path = ledger.write_record(record, args.out_dir)
@@ -148,8 +118,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--repeats", type=int, default=3,
                        help="best-of repeats per workload (default 3)")
     run_p.add_argument("--jobs", type=int, default=0,
-                       help="worker count for the parallel suite timing "
-                            "(0 = cpu count)")
+                       help="worker count for the parallel suite/sweep "
+                            "timings (0 = at least 2, more if the "
+                            "scheduling affinity allows)")
     run_p.add_argument("--skip-suite", action="store_true",
                        help="skip the full-suite wall-clock timing")
     run_p.set_defaults(func=_cmd_run)
@@ -169,5 +140,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "run" and args.jobs == 0:
-        args.jobs = os.cpu_count() or 1
+        # At least two workers: the speedup floor gate is about the engine
+        # beating a sequential run, and a one-worker "parallel" timing (the
+        # BENCH_1-4 mistake on a cgroup-limited box) measures only overhead.
+        from repro.experiments.engine import effective_cpu_count
+
+        args.jobs = max(2, effective_cpu_count())
     return args.func(args)

@@ -21,8 +21,9 @@ SCHEMA = "repro.bench/v1"
 _RECORD_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 #: Gated metrics: dotted path into ``record["metrics"]`` -> True when higher
-#: is better.  Metrics not listed here (speedup, jobs, cpu counts) are
-#: informational only — they describe the machine or the run, not the code.
+#: is better.  Metrics not listed here or in :data:`GATED_FLOORS` (jobs, cpu
+#: counts) are informational only — they describe the machine or the run,
+#: not the code.
 GATED_METRICS: Dict[str, bool] = {
     "kernel_events_per_sec": True,
     "network_msgs_per_sec": True,
@@ -37,6 +38,21 @@ GATED_METRICS: Dict[str, bool] = {
     "clock_stamp_ns.dense": False,
     "analysis_runtime_s": False,
     "suite.sequential_s": False,
+}
+
+#: Direction-aware *floor* gates: dotted metric path -> absolute value the
+#: candidate must EXCEED, independent of any baseline.  A relative gate
+#: cannot catch "parallel loses to sequential" — a 0.95 speedup that holds
+#: perfectly steady across records never regresses *relatively*, which is
+#: exactly how BENCH_1-4 shipped a broken ``--jobs`` for four records
+#: running.  The floor says what the number must *mean*: the warm-worker
+#: engine beats a sequential run, full stop.  (``[bench-skip]`` in the head
+#: commit message remains the CI escape hatch for noisy runners.)
+#: ``parallel_sweep.speedup`` stays informational: its child runs are short
+#: enough that worker start-up is a double-digit fraction on small boxes,
+#: so a floor there would gate the machine, not the engine.
+GATED_FLOORS: Dict[str, float] = {
+    "suite.speedup": 1.0,
 }
 
 
@@ -125,6 +141,23 @@ def compare_records(
             "higher_is_better": higher_is_better,
             "regressed": change < -threshold,
         })
+    # Floor gates judge the candidate against an absolute bar, not the
+    # baseline; the threshold does not soften them.  A candidate that does
+    # not record the metric at all is not flagged (record-schema growth must
+    # stay backwards comparable), so older baselines diff cleanly.
+    for metric, floor in GATED_FLOORS.items():
+        cand = _lookup(cand_metrics, metric)
+        if cand is None or math.isnan(cand):
+            continue
+        rows.append({
+            "metric": metric,
+            "baseline": _lookup(base_metrics, metric),
+            "candidate": cand,
+            "change": None,
+            "higher_is_better": True,
+            "floor": floor,
+            "regressed": cand <= floor,
+        })
     return rows
 
 
@@ -135,8 +168,14 @@ def render_comparison(rows: List[Dict[str, Any]]) -> str:
     lines = [f"{'metric':<34} {'baseline':>12} {'candidate':>12} {'change':>8}  verdict"]
     for row in rows:
         verdict = "REGRESSED" if row["regressed"] else "ok"
+        baseline = (f"{row['baseline']:>12.3f}"
+                    if row["baseline"] is not None else f"{'-':>12}")
+        if row.get("change") is None:
+            change = f"> {row['floor']:g}".rjust(8)
+        else:
+            change = f"{row['change']:>+7.1%}"
         lines.append(
-            f"{row['metric']:<34} {row['baseline']:>12.3f} "
-            f"{row['candidate']:>12.3f} {row['change']:>+7.1%}  {verdict}"
+            f"{row['metric']:<34} {baseline} "
+            f"{row['candidate']:>12.3f} {change}  {verdict}"
         )
     return "\n".join(lines)

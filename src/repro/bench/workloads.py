@@ -14,8 +14,11 @@ evidence that the dense hot path stays faster than the reference one.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 from repro.catocs import build_group
 from repro.ordering.dense import ClockDomain
@@ -33,6 +36,74 @@ def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
         if elapsed < best:
             best = elapsed
     return best
+
+
+# -- the parallel engine (child-interpreter wall clock) ------------------------------
+
+
+def _timed_child(extra: List[str]) -> float:
+    """Wall-clock seconds for one ``python -m repro.experiments ...`` child
+    (what a user actually runs; output discarded)."""
+    import repro
+
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *extra],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"repro.experiments {' '.join(extra)!r} exited {proc.returncode} "
+            "during benchmarking"
+        )
+    return elapsed
+
+
+def _speedup_pair(extra: List[str], jobs: int, repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` sequential vs ``--jobs`` timing, interleaved.
+
+    Interleaving (seq, par, seq, par, ...) instead of back-to-back blocks
+    matters on shared CI boxes: a load spike then penalises both sides of
+    one round rather than silently skewing the speedup ratio.
+    """
+    sequential = float("inf")
+    parallel = float("inf")
+    for _ in range(max(1, repeats)):
+        sequential = min(sequential, _timed_child(extra))
+        parallel = min(parallel, _timed_child(extra + ["--jobs", str(jobs)]))
+    return {
+        "sequential_s": round(sequential, 3),
+        "parallel_s": round(parallel, 3),
+        "jobs": jobs,
+        "speedup": round(sequential / parallel, 3) if parallel else 0.0,
+    }
+
+
+def suite_wall_clock(jobs: int, repeats: int = 2) -> Dict[str, float]:
+    """Full experiment suite: sequential vs the warm-worker engine.
+
+    ``suite.speedup`` is a *floor-gated* metric (must stay > 1.0, see
+    ``repro.bench.ledger.GATED_FLOORS``): the parallel engine regressing to
+    slower-than-sequential is exactly the failure BENCH_1-4 recorded, and it
+    must never return silently.
+    """
+    return _speedup_pair([], jobs, repeats)
+
+
+def parallel_sweep(jobs: int, seeds: int = 16, repeats: int = 2) -> Dict[str, float]:
+    """Seed-sweep campaign: sequential vs seed-sharded warm workers.
+
+    This is the workload the engine is *for* — one shard of seeds is coarse
+    enough to amortise worker start-up, so ``parallel_sweep.speedup`` is
+    where by-seed sharding shows up (also floor-gated at 1.0).
+    """
+    out = _speedup_pair(["--sweep", f"seeds=0..{seeds - 1}"], jobs, repeats)
+    out["seeds"] = seeds
+    return out
 
 
 # -- simulator substrate -----------------------------------------------------------

@@ -125,7 +125,60 @@ def test_compare_threshold_is_respected():
 def test_compare_skips_metrics_missing_from_either_side():
     thin = {"kernel_events_per_sec": 100_000.0}
     rows = ledger.compare_records(_record(thin), _record(BASE_METRICS))
-    assert [row["metric"] for row in rows] == ["kernel_events_per_sec"]
+    # Relative gates need both sides; floor gates judge the candidate alone,
+    # so suite.speedup still gets a row against its absolute bar.
+    assert [row["metric"] for row in rows] == \
+        ["kernel_events_per_sec", "suite.speedup"]
+
+
+# -- floor gates -------------------------------------------------------------------
+
+
+def _speedup_record(speedup):
+    metrics = json.loads(json.dumps(BASE_METRICS))
+    metrics["suite"]["speedup"] = speedup
+    return _record(metrics)
+
+
+def test_floor_gate_fails_steady_sub_one_speedup():
+    # The BENCH_1-4 failure mode: a 0.95 speedup that never moves between
+    # records has zero relative change, but the floor still rejects it.
+    rows = ledger.compare_records(_speedup_record(0.95), _speedup_record(0.95))
+    floor_row = next(r for r in rows if r["metric"] == "suite.speedup")
+    assert floor_row["regressed"]
+    assert floor_row["change"] is None and floor_row["floor"] == 1.0
+
+
+def test_floor_gate_requires_strictly_more_than_one():
+    exactly_one = ledger.compare_records(
+        _speedup_record(2.0), _speedup_record(1.0))
+    above = ledger.compare_records(
+        _speedup_record(0.9), _speedup_record(1.05))
+    assert next(r for r in exactly_one
+                if r["metric"] == "suite.speedup")["regressed"]
+    assert not next(r for r in above
+                    if r["metric"] == "suite.speedup")["regressed"]
+
+
+def test_floor_gate_skips_candidates_without_the_metric():
+    # Pre-engine records never measured a speedup; they must still diff.
+    thin = {"kernel_events_per_sec": 100_000.0}
+    rows = ledger.compare_records(_record(BASE_METRICS), _record(thin))
+    assert all(row["metric"] != "suite.speedup" for row in rows)
+
+
+def test_floor_gate_renders_missing_baseline_and_floor_column():
+    thin = {"kernel_events_per_sec": 100_000.0}
+    rows = ledger.compare_records(_record(thin), _speedup_record(0.9))
+    rendered = ledger.render_comparison(rows)
+    line = next(ln for ln in rendered.splitlines() if "suite.speedup" in ln)
+    assert "-" in line and "> 1" in line and "REGRESSED" in line
+
+
+def test_cli_compare_fails_on_floor_violation(tmp_path, capsys):
+    _write_pair(tmp_path, _speedup_record(0.97)["metrics"])
+    assert bench_main(["compare", "--out-dir", str(tmp_path)]) == 1
+    assert "suite.speedup" in capsys.readouterr().out
 
 
 # -- CLI ---------------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""Pool runners for ``test_engine.py``, kept in their own module.
+
+The ``spawn`` context pickles runners by reference, so every worker imports
+the module that defines them.  Defining them inside the test module would
+drag pytest and hypothesis into each worker boot; this module imports only
+the standard library, keeping worker start-up (and the interrupt test's
+timing margin) tight.
+"""
+
+import os
+import time
+
+
+def double(x):
+    return 2 * x
+
+
+def explode(x):
+    raise ValueError(f"task {x} is cursed")
+
+
+def die_or_double(x):
+    if x == "die":
+        os._exit(13)  # hard worker death: no exception, no report
+    return 2 * x
+
+
+def sleep_then_double(x, seconds):
+    time.sleep(seconds)
+    return 2 * x

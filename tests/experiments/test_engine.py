@@ -1,0 +1,163 @@
+"""The warm-worker pool: sizing, sharding, and the failure contract.
+
+Pool runners live at module level because the ``spawn`` context pickles
+them by reference; they live in ``engine_runners`` (same directory, which
+pytest puts on ``sys.path`` and spawn children inherit) so worker boots do
+not re-import pytest and hypothesis.
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import engine_runners
+
+from repro.experiments.engine import (
+    PoolOutcome,
+    WarmWorkerPool,
+    effective_cpu_count,
+    shard_ranges,
+    worker_count,
+)
+
+
+# -- sizing ------------------------------------------------------------------------
+
+
+def test_effective_cpu_count_prefers_affinity(monkeypatch):
+    if not hasattr(os, "sched_getaffinity"):
+        pytest.skip("platform has no sched_getaffinity")
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 2, 5})
+    assert effective_cpu_count() == 3
+
+
+def test_effective_cpu_count_falls_back_to_cpu_count(monkeypatch):
+    def no_affinity(pid):
+        raise AttributeError("no sched_getaffinity on this platform")
+
+    monkeypatch.setattr(os, "sched_getaffinity", no_affinity, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 7)
+    assert effective_cpu_count() == 7
+
+
+def test_worker_count_caps_at_task_count(monkeypatch):
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(8)),
+                        raising=False)
+    assert worker_count(4, 2) == 2   # more workers than tasks is waste
+    assert worker_count(2, 50) == 2  # explicit request honoured
+    assert worker_count(0, 50) == 8  # 0 = size to the box
+    assert worker_count(0, 3) == 3   # ...still capped at the tasks
+    assert worker_count(1, 0) == 1   # never below one
+
+
+# -- sharding ----------------------------------------------------------------------
+
+
+def test_shard_ranges_splits_evenly_with_remainder_first():
+    assert shard_ranges(0, 9, 2) == [(0, 4), (5, 9)]
+    assert shard_ranges(0, 10, 4) == [(0, 2), (3, 5), (6, 8), (9, 10)]
+    assert shard_ranges(5, 5, 3) == [(5, 5)]  # clamped to the seed count
+    assert shard_ranges(-4, 3, 1) == [(-4, 3)]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lo=st.integers(-1000, 1000),
+    n=st.integers(1, 500),
+    shards=st.integers(1, 40),
+)
+def test_shard_ranges_partition_the_range_exactly(lo, n, shards):
+    hi = lo + n - 1
+    ranges = shard_ranges(lo, hi, shards)
+    assert ranges[0][0] == lo and ranges[-1][1] == hi
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(ranges, ranges[1:]):
+        assert a_hi + 1 == b_lo  # contiguous, non-overlapping, ordered
+    assert all(r_lo <= r_hi for r_lo, r_hi in ranges)
+    assert sum(r_hi - r_lo + 1 for r_lo, r_hi in ranges) == n
+    assert len(ranges) == min(shards, n)
+
+
+# -- the pool ----------------------------------------------------------------------
+
+
+def test_pool_runs_every_task():
+    pool = WarmWorkerPool(jobs=2, runner=engine_runners.double)
+    outcome = pool.run([(i, (i,)) for i in range(6)])
+    assert outcome.ok
+    assert outcome.results == {i: 2 * i for i in range(6)}
+    assert outcome.failures == {}
+
+
+def test_pool_rejects_duplicate_keys_and_bad_jobs():
+    with pytest.raises(ValueError, match="unique"):
+        WarmWorkerPool(jobs=1, runner=engine_runners.double).run([("k", (1,)), ("k", (2,))])
+    with pytest.raises(ValueError, match="jobs"):
+        WarmWorkerPool(jobs=0, runner=engine_runners.double)
+
+
+def test_pool_empty_task_list_is_a_noop():
+    outcome = WarmWorkerPool(jobs=2, runner=engine_runners.double).run([])
+    assert outcome.ok and not outcome.results
+
+
+def test_task_exception_is_reported_and_worker_survives():
+    pool = WarmWorkerPool(jobs=1, runner=engine_runners.explode)
+    outcome = pool.run([("only", ("x",))])
+    assert not outcome.ok
+    assert "ValueError: task x is cursed" in outcome.failures["only"]
+
+
+def test_task_exception_does_not_poison_siblings():
+    # One worker, mixed tasks: the failure must be per-task, with the same
+    # worker carrying on to the remaining work.
+    pool = WarmWorkerPool(jobs=1, runner=engine_runners.die_or_double)
+    outcome = pool.run([("a", (1,)), ("b", (2,))])
+    assert outcome.results == {"a": 2, "b": 4}
+
+
+def test_dead_worker_forfeits_only_its_task():
+    # "die" is first in the queue so the doomed worker holds no buffered
+    # results when it exits; the surviving worker must finish the rest.
+    pool = WarmWorkerPool(jobs=2, runner=engine_runners.die_or_double)
+    outcome = pool.run([("die", ("die",)), ("a", (3,)), ("b", (4,))])
+    assert not outcome.ok
+    assert "worker process died" in outcome.failures["die"]
+    assert outcome.results == {"a": 6, "b": 8}
+
+
+def test_all_workers_dead_marks_everything_unreported():
+    pool = WarmWorkerPool(jobs=1, runner=engine_runners.die_or_double)
+    outcome = pool.run([("die", ("die",)), ("never", (1,))])
+    assert set(outcome.failures) == {"die", "never"}
+    assert all("worker process died" in why
+               for why in outcome.failures.values())
+
+
+def test_keyboard_interrupt_drains_finished_work():
+    # The slow task pins one worker; SIGINT lands while the parent is
+    # blocked draining.  Finished envelopes must survive, the rest must be
+    # marked interrupted, and the exception must not escape run().
+    pool = WarmWorkerPool(jobs=2, runner=engine_runners.sleep_then_double)
+    timer = threading.Timer(4.0, signal.raise_signal, args=(signal.SIGINT,))
+    timer.daemon = True
+    timer.start()
+    try:
+        outcome = pool.run([
+            ("fast", (1, 0.0)),
+            ("slow", (2, 120.0)),
+        ])
+    finally:
+        timer.cancel()
+    assert outcome.interrupted and not outcome.ok
+    assert outcome.results.get("fast") == 2
+    assert "interrupted before the worker reported" in outcome.failures["slow"]
+
+
+def test_pool_outcome_ok_semantics():
+    assert PoolOutcome().ok
+    assert not PoolOutcome(failures={"k": "why"}).ok
+    assert not PoolOutcome(interrupted=True).ok

@@ -8,15 +8,24 @@ Two guarantees are load-bearing:
 2. A failing or crashing experiment is reported per-experiment — name,
    verdict, unmet checks or traceback — in both the sequential and the
    parallel path, and poisons the exit status without hiding the rest of
-   the suite.
+   the suite.  A worker that *dies* forfeits only its in-flight experiment.
+
+The warm pool uses the ``spawn`` start method, so workers rebuild their
+interpreter from scratch and monkeypatched parent modules vanish there.
+Fake registries therefore travel through the ``REPRO_EXPERIMENTS_REGISTRY``
+environment seam: pytest imports this file as a top-level module
+(``tests/experiments`` has no ``__init__.py``) with its directory on
+``sys.path``, and spawn inherits both ``sys.path`` and the environment, so
+``test_run_all_parallel:fake_registry_factory`` resolves in the children.
 """
 
 import io
+import os
 from contextlib import redirect_stdout
 
 import pytest
 
-from repro.experiments import run_all
+from repro.experiments import engine, run_all
 from repro.experiments.harness import ExperimentResult, Table
 
 
@@ -27,7 +36,7 @@ def _run_main(argv):
     return status, out.getvalue()
 
 
-# -- fake experiments (module-level so fork-started pool workers see them) ---------
+# -- fake experiments (module-level so spawn workers can re-import them) -----------
 
 
 def _fake_pass():
@@ -47,14 +56,30 @@ def _fake_crash():
     raise RuntimeError("simulated experiment crash")
 
 
+def _fake_worker_killer():
+    # A hard worker death, not an experiment exception: nothing is reported
+    # for this task and the parent must synthesise a CRASH envelope.
+    os._exit(13)
+
+
 FAKE_REGISTRY = {"E01": _fake_pass, "E02": _fake_fail, "E03": _fake_crash}
+
+
+def fake_registry_factory():
+    return dict(FAKE_REGISTRY)
+
+
+def killer_registry_factory():
+    # The killer is E01 so whichever worker pulls it dies before it has
+    # buffered any finished result (results for completed siblings must
+    # survive the crash — that is the guarantee under test).
+    return {"E01": _fake_worker_killer, "E02": _fake_pass}
 
 
 @pytest.fixture
 def fake_registry(monkeypatch):
-    # Patching the parent's module is enough for the parallel path too: the
-    # pool forks workers at submit time, after the patch is in place.
-    monkeypatch.setattr(run_all, "registry", lambda: dict(FAKE_REGISTRY))
+    monkeypatch.setenv(
+        run_all.REGISTRY_ENV, "test_run_all_parallel:fake_registry_factory")
 
 
 # -- determinism -------------------------------------------------------------------
@@ -82,19 +107,55 @@ def test_parallel_merges_in_registry_order():
     assert out.index("== E10") < out.index("== E01")
 
 
-def test_jobs_zero_means_cpu_count(monkeypatch):
-    calls = {}
+def test_fork_and_spawn_contexts_agree():
+    """Satellite of the spawn-everywhere decision: forcing ``spawn`` is only
+    safe if it changes nothing observable, so where the platform also offers
+    ``fork`` the merged envelopes must match byte for byte."""
+    import multiprocessing
 
-    def fake_parallel(wanted, jobs, want_metrics, discipline=None):
-        calls["jobs"] = jobs
-        return [run_all.run_one(name, want_metrics, discipline)
-                for name in wanted]
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("platform has no fork start method")
+    subset = ["E01", "E10"]
+    forked, f_int = run_all._run_parallel(
+        subset, 2, want_metrics=True, context="fork")
+    spawned, s_int = run_all._run_parallel(
+        subset, 2, want_metrics=True, context="spawn")
+    assert not f_int and not s_int
+    assert forked == spawned
 
-    monkeypatch.setattr(run_all, "_run_parallel", fake_parallel)
-    status, _ = _run_main(["E01", "--jobs", "0"])
+
+def test_registry_stays_in_lockstep_with_experiment_names():
+    # EXPERIMENT_NAMES lets the parallel parent skip importing the nineteen
+    # experiment modules; it is only sound while it mirrors the registry.
+    assert tuple(run_all.registry()) == run_all.EXPERIMENT_NAMES
+
+
+# -- worker sizing -----------------------------------------------------------------
+
+
+def test_jobs_zero_resolves_via_scheduling_affinity(monkeypatch):
+    captured = {}
+
+    class FakePool:
+        def __init__(self, jobs, runner, initializer=None, context="spawn",
+                     gc_every=0):
+            captured["jobs"] = jobs
+
+        def run(self, tasks):
+            outcome = engine.PoolOutcome()
+            for key, payload in tasks:
+                outcome.results[key] = run_all.run_one_compact(*payload)
+            return outcome
+
+    monkeypatch.setattr(engine, "WarmWorkerPool", FakePool)
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(3)))
+    else:  # pragma: no cover - non-Linux fallback
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+    status, _ = _run_main(["E01", "E02", "--jobs", "0"])
     assert status == 0
-    import os
-    assert calls["jobs"] == (os.cpu_count() or 1)
+    # affinity says 3 cores, but two tasks cap the pool at two workers
+    assert captured["jobs"] == 2
 
 
 # -- failure and crash reporting ---------------------------------------------------
@@ -133,29 +194,15 @@ def test_crash_skips_metrics_but_not_others(fake_registry, tmp_path):
 
 
 def test_dead_worker_is_reported_as_crash(monkeypatch):
-    class ExplodingFuture:
-        def result(self):
-            raise RuntimeError("pool broke")
-
-    class FakePool:
-        def __init__(self, max_workers):
-            pass
-
-        def __enter__(self):
-            return self
-
-        def __exit__(self, *exc):
-            return False
-
-        def submit(self, fn, *args):
-            return ExplodingFuture()
-
-    import concurrent.futures
-    monkeypatch.setattr(
-        concurrent.futures, "ProcessPoolExecutor", FakePool)
-    envelopes = run_all._run_parallel(["E01"], 2, want_metrics=False)
-    assert envelopes[0]["verdict"] == run_all.CRASH
-    assert "worker process died" in envelopes[0]["traceback"]
+    monkeypatch.setenv(
+        run_all.REGISTRY_ENV, "test_run_all_parallel:killer_registry_factory")
+    status, out = _run_main(["E01", "E02", "--jobs", "2"])
+    assert status == 1
+    assert "== E01: CRASHED ==" in out
+    assert "worker process died" in out
+    # the surviving worker still ran and reported the sibling
+    assert "  E02  pass" in out
+    assert "CRASHED: E01" in out
 
 
 # -- argument handling -------------------------------------------------------------
