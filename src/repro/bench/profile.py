@@ -1,0 +1,140 @@
+"""Profile-diff workload: where do the schedulers actually spend time?
+
+``python -m repro.bench profile`` runs the kernel timer-chain workload once
+per scheduler build (``heap`` and ``wheel``, see :mod:`repro.sim.wheel`)
+under :mod:`cProfile` and reports the top-N functions of each side plus a
+function-by-function delta.  This is the before/after evidence that keeps
+hot-path claims honest: a throughput number says *that* one build is
+faster, the profile diff says *why* (which frames appeared, disappeared,
+or changed weight).
+
+The profiler inflates absolute times (every call crosses an instrumented
+boundary), so the numbers here are for attribution, not for gating —
+throughput gating lives in ``kernel_events_per_sec`` and the ledger
+floors.  Deltas are still meaningful because the inflation applies to both
+schedulers alike.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Dict, List
+
+from repro.sim import Simulator
+
+#: Schema tag for the JSON artifact written by ``--out``.
+SCHEMA = "repro.bench/profile-diff-v1"
+
+
+def _chain_workload(scheduler: str, events: int) -> None:
+    """The same timer chain ``kernel_events_per_sec`` times, pinned to one
+    scheduler build."""
+    sim = Simulator(seed=0, scheduler=scheduler)
+
+    def chain(n: int) -> None:
+        if n:
+            sim.call_later(1.0, chain, n - 1)
+
+    sim.call_at(0.0, chain, events)
+    sim.run()
+
+
+def _short_name(func: Any) -> str:
+    """``pstats`` function key -> compact ``file:line(name)`` label."""
+    filename, lineno, name = func
+    if filename == "~":  # builtins have no file
+        return name
+    parts = filename.replace("\\", "/").split("/")
+    tail = "/".join(parts[-2:]) if len(parts) > 1 else filename
+    return f"{tail}:{lineno}({name})"
+
+
+def _profile_one(scheduler: str, events: int, top: int) -> Dict[str, Any]:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _chain_workload(scheduler, events)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    total = stats.total_tt  # type: ignore[attr-defined]
+    entries: List[Dict[str, Any]] = []
+    for func, (_, ncalls, tottime, cumtime, _) in stats.stats.items():  # type: ignore[attr-defined]
+        entries.append({
+            "function": _short_name(func),
+            "ncalls": ncalls,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+    entries.sort(key=lambda e: (-e["tottime_s"], e["function"]))
+    return {
+        "scheduler": scheduler,
+        "events": events,
+        "total_s": round(total, 6),
+        "events_per_sec_profiled": round(events / total, 1) if total else None,
+        "top": entries[:top],
+        "_by_function": {e["function"]: e for e in entries},
+    }
+
+
+def profile_diff(events: int = 100_000, top: int = 15) -> Dict[str, Any]:
+    """Profile the chain workload under both schedulers and diff the frames.
+
+    Returns a JSON-ready document: per-scheduler top-N tables and a
+    ``delta`` list over the union of both top-Ns, sorted by absolute
+    tottime difference (positive ``delta_s`` = the wheel spends more time
+    there than the heap).
+    """
+    sides = {name: _profile_one(name, events, top) for name in ("heap", "wheel")}
+    union: List[str] = []
+    for side in sides.values():
+        for entry in side["top"]:
+            if entry["function"] not in union:
+                union.append(entry["function"])
+    delta: List[Dict[str, Any]] = []
+    for function in union:
+        heap_e = sides["heap"]["_by_function"].get(function)
+        wheel_e = sides["wheel"]["_by_function"].get(function)
+        heap_s = heap_e["tottime_s"] if heap_e else 0.0
+        wheel_s = wheel_e["tottime_s"] if wheel_e else 0.0
+        delta.append({
+            "function": function,
+            "heap_s": heap_s,
+            "wheel_s": wheel_s,
+            "delta_s": round(wheel_s - heap_s, 6),
+        })
+    delta.sort(key=lambda d: (-abs(d["delta_s"]), d["function"]))
+    for side in sides.values():
+        del side["_by_function"]  # internal index, not part of the artifact
+    return {
+        "schema": SCHEMA,
+        "events": events,
+        "schedulers": sides,
+        "delta": delta,
+    }
+
+
+def render_profile_diff(doc: Dict[str, Any]) -> str:
+    """Human-readable report for the CLI (the JSON goes to ``--out``)."""
+    lines: List[str] = []
+    for name in ("heap", "wheel"):
+        side = doc["schedulers"][name]
+        rate = side["events_per_sec_profiled"]
+        lines.append(
+            f"== {name}: {side['events']} events in {side['total_s']:.3f}s "
+            f"profiled ({rate:,.0f} ev/s under instrumentation)"
+        )
+        lines.append(f"   {'tottime':>9} {'ncalls':>9}  function")
+        for entry in side["top"]:
+            lines.append(
+                f"   {entry['tottime_s']:>9.4f} {entry['ncalls']:>9}  "
+                f"{entry['function']}"
+            )
+        lines.append("")
+    lines.append("== delta (wheel - heap), by |tottime| difference")
+    lines.append(f"   {'heap_s':>9} {'wheel_s':>9} {'delta_s':>9}  function")
+    for row in doc["delta"]:
+        lines.append(
+            f"   {row['heap_s']:>9.4f} {row['wheel_s']:>9.4f} "
+            f"{row['delta_s']:>+9.4f}  {row['function']}"
+        )
+    return "\n".join(lines)

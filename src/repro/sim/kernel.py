@@ -1,73 +1,116 @@
 """Discrete-event simulation kernel.
 
-A :class:`Simulator` owns a priority queue of timestamped events and a seeded
-random generator.  All nondeterminism in the system (latency jitter, message
-loss, clock skew) is drawn from that generator, so any run is exactly
+A :class:`Simulator` owns an ordered collection of timestamped events and a
+seeded random generator.  All nondeterminism in the system (latency jitter,
+message loss, clock skew) is drawn from that generator, so any run is exactly
 reproducible from ``(seed, parameters)`` — which is what lets the test suite
 assert, e.g., that the Figure 4 trading anomaly occurs at a specific tick.
 
 Events with equal timestamps are ordered by insertion sequence number, so the
 execution order is a deterministic function of the schedule calls alone.
 
-Cancelled events stay in the heap as tombstones (removing from the middle of
-a heap is O(n)); the kernel keeps O(1) live/tombstone counters and compacts
-the heap lazily once tombstones dominate, so timer-heavy protocols (NAK
-timers, heartbeats — armed by the thousand and mostly cancelled) don't drag
-every subsequent push/pop through dead weight.
+The event structure is pluggable (:mod:`repro.sim.wheel`): the default is a
+binary heap driven directly through C ``heapq`` (the fastest option
+measured — see docs/PERFORMANCE.md); a calendar-queue timing wheel with
+amortised O(1) push/pop is selectable via ``Simulator(scheduler="wheel")``
+or ``REPRO_SIM_SCHEDULER=wheel`` for differential testing.  Both produce
+identical execution orders for any program — the scheduler is never
+observable in reports.
+
+Cancelled events stay in the scheduler as tombstones (removing from the
+middle of a heap or a sorted bucket is O(n)); the scheduler keeps O(1)
+live/tombstone counters and reclaims dead entries lazily — per-bucket for
+the wheel, whole-heap for the reference scheduler — so timer-heavy
+protocols (NAK timers, heartbeats — armed by the thousand and mostly
+cancelled) don't drag every subsequent push/pop through dead weight.
+
+Hot-path design: :class:`Event` is a ``__slots__`` flyweight that serves as
+its own :class:`Timer` handle (the two names alias one class), and the
+kernel keeps a small free-list of fired events.  An event is recycled only
+when, after its callback returns, the run loop holds the sole remaining
+reference (checked with :func:`sys.getrefcount`) — if any caller kept the
+Timer handle, the object is simply left to the allocator, so handle state
+(``fired``, ``cancelled``, ``time``) stays valid forever.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import os
 import random
-from dataclasses import dataclass, field
+import sys
+import weakref
+from heapq import heappush
 from typing import Any, Callable, Optional
 
 from repro.obs import MetricsRegistry
+from repro.sim.wheel import FREELIST_MAX, SCHEDULERS, HeapScheduler, SchedulerImpl, noop
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback and its own timer handle.
 
     Ordered by ``(time, seq)``; ``seq`` is a global insertion counter that
     breaks ties deterministically.
+
+    Earlier kernels paired a dataclass event with a separate ``Timer``
+    handle object; at hundreds of thousands of events per second the extra
+    allocation and indirection were a measurable slice of the hot path, so
+    the two are now one ``__slots__`` object (``Timer`` aliases this class).
+    ``_simref`` is a weak reference shared by every event of a simulator —
+    a strong reference would cycle sim→scheduler→event→sim, and per-task
+    heaps must die by refcounting (warm workers run with the cyclic GC off).
     """
+
+    __slots__ = ("time", "seq", "tick", "fn", "args", "cancelled", "fired", "_simref")
 
     time: float
     seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    fired: bool = field(compare=False, default=False)
+    #: integer time slot, stamped by the wheel scheduler at push time
+    tick: int
+    fn: Callable[..., None]
+    args: tuple
+    cancelled: bool
+    fired: bool
+    _simref: "weakref.ref[Simulator]"
 
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        simref: "weakref.ref[Simulator]",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.tick = 0
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self._simref = simref
 
-class Timer:
-    """Handle for a scheduled event, allowing cancellation and rescheduling."""
-
-    def __init__(self, sim: "Simulator", event: Event) -> None:
-        self._sim = sim
-        self._event = event
-
-    @property
-    def time(self) -> float:
-        """Absolute simulation time at which the timer fires."""
-        return self._event.time
-
-    @property
-    def fired(self) -> bool:
-        """True once the timer's callback has run."""
-        return self._event.fired
+    def __lt__(self, other: "Event") -> bool:
+        return self.time < other.time or (
+            self.time == other.time and self.seq < other.seq
+        )
 
     @property
     def active(self) -> bool:
         """True while the timer is pending: not cancelled and not yet fired."""
-        return not self._event.cancelled and not self._event.fired
+        return not self.cancelled and not self.fired
 
     def cancel(self) -> None:
         """Prevent the timer from firing.  Idempotent; a no-op once fired."""
-        self._sim._cancel_event(self._event)
+        if self.cancelled or self.fired:
+            return
+        sim = self._simref()
+        if sim is None:
+            # Simulator already collected; nothing left to account against.
+            self.cancelled = True
+            return
+        sim._sched.cancel(self)
 
     def reschedule(self, delay: float) -> "Timer":
         """Cancel this timer and schedule its callback ``delay`` from now.
@@ -76,18 +119,23 @@ class Timer:
         re-running an already-executed callback is never what the caller
         meant (arm a fresh timer instead).
         """
-        if self._event.fired:
+        if self.fired:
             raise RuntimeError(
                 "cannot reschedule a timer that has already fired; "
                 "schedule a new one with call_later()"
             )
+        sim = self._simref()
+        if sim is None:
+            raise RuntimeError("cannot reschedule: simulator no longer exists")
         self.cancel()
-        return self._sim.call_later(delay, self._event.fn, *self._event.args)
+        return sim.call_later(delay, self.fn, *self.args)
 
 
-#: Compaction triggers when at least this many tombstones have accumulated
-#: *and* they make up at least half the heap.
-_COMPACT_MIN_TOMBSTONES = 64
+#: Public alias: the scheduled event doubles as its own cancellation handle.
+Timer = Event
+
+_SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
+_DEFAULT_SCHEDULER = "heap"
 
 
 class Simulator:
@@ -98,85 +146,148 @@ class Simulator:
         sim = Simulator(seed=7)
         sim.call_later(1.5, print, "hello at t=1.5")
         sim.run()
+
+    ``scheduler`` selects the event structure by name (``"heap"`` or
+    ``"wheel"``, see :mod:`repro.sim.wheel`); when omitted it falls back to
+    the ``REPRO_SIM_SCHEDULER`` environment variable, then ``"heap"``.
+    Execution order is identical whichever is active.
+
+    ``__slots__`` because ``now``/``_events_executed``/``_stopped`` are
+    written or read once per event on the hot path; ``_clock_domains`` is
+    an opaque per-simulator cache slot owned by :mod:`repro.ordering.dense`.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    __slots__ = (
+        "seed",
+        "rng",
+        "now",
+        "scheduler_name",
+        "_sched",
+        "_heap_queue",
+        "_seq",
+        "_events_executed",
+        "_stopped",
+        "_freelist",
+        "_selfref",
+        "_clock_domains",
+        "metrics",
+        "__weakref__",
+    )
+
+    def __init__(self, seed: int = 0, scheduler: Optional[str] = None) -> None:
         self.seed = seed
         self.rng = random.Random(seed)
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        if scheduler is None:
+            # Differential-testing seam, resolved once per Simulator; within
+            # a process every default-constructed simulator is homogeneous,
+            # and both schedulers execute any program identically.
+            scheduler = os.environ.get(_SCHEDULER_ENV) or _DEFAULT_SCHEDULER
+        factory = SCHEDULERS.get(scheduler)
+        if factory is None:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose one of "
+                f"{sorted(SCHEDULERS)}"
+            )
+        self.scheduler_name = scheduler
+        self._sched: SchedulerImpl = factory()
+        # Direct handle on the heap scheduler's list: push is then a single
+        # C heappush from call_later/call_at, with no method frame between.
+        # Safe because HeapScheduler compacts in place (see wheel.py).
+        sched = self._sched
+        self._heap_queue: Optional[list[Event]] = (
+            sched._queue if isinstance(sched, HeapScheduler) else None
+        )
         self._seq = itertools.count()
         self._events_executed = 0
-        self._live = 0  # non-cancelled events currently queued
-        self._tombstones = 0  # cancelled events still occupying the heap
-        self._compactions = 0
         self._stopped = False
+        self._freelist: list[Event] = []
+        self._selfref: "weakref.ref[Simulator]" = weakref.ref(self)
         self.metrics = MetricsRegistry("sim", clock=lambda: self.now)
         self._register_metrics()
 
     def _register_metrics(self) -> None:
         m = self.metrics
+        sched = self._sched
         m.gauge_fn("kernel.events_executed", lambda: self._events_executed)
-        m.gauge_fn("kernel.pending", lambda: self._live)
-        m.gauge_fn("kernel.queue_depth", lambda: len(self._queue))
-        m.gauge_fn("kernel.tombstones", lambda: self._tombstones)
+        m.gauge_fn("kernel.pending", lambda: sched.live)
+        m.gauge_fn("kernel.queue_depth", lambda: sched.depth)
+        m.gauge_fn("kernel.tombstones", lambda: sched.tombstones)
         m.gauge_fn(
             "kernel.tombstone_ratio",
-            lambda: self._tombstones / len(self._queue) if self._queue else 0.0,
+            lambda: sched.tombstones / sched.depth if sched.depth else 0.0,
         )
-        m.gauge_fn("kernel.compactions", lambda: self._compactions)
+        m.gauge_fn("kernel.compactions", lambda: sched.compactions)
+        m.gauge_fn("kernel.tombstones_shed", lambda: sched.shed)
         m.gauge_fn("kernel.virtual_time", lambda: self.now)
 
     # -- scheduling ---------------------------------------------------------
 
     def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
-        """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now.
+
+        This is the hot scheduling path; it inlines :meth:`call_at` (a
+        non-negative delay can never land in the past, so the past-check is
+        subsumed by the delay check).
+        """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.call_at(self.now + delay, fn, *args)
+        freelist = self._freelist
+        if freelist:
+            # Parked events are never cancelled (only live-popped, fired
+            # events are recycled), so only `fired` needs resetting.
+            event = freelist.pop()
+            event.time = self.now + delay
+            event.seq = next(self._seq)
+            event.fn = fn
+            event.args = args
+            event.fired = False
+        else:
+            event = Event(self.now + delay, next(self._seq), fn, args, self._selfref)
+        heap = self._heap_queue
+        if heap is not None:
+            heappush(heap, event)
+        else:
+            self._sched.push(event)
+        return event
 
     def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        event = Event(time=time, seq=next(self._seq), fn=fn, args=args)
-        heapq.heappush(self._queue, event)
-        self._live += 1
-        return Timer(self, event)
-
-    def _cancel_event(self, event: Event) -> None:
-        if event.cancelled or event.fired:
-            return
-        event.cancelled = True
-        self._live -= 1
-        self._tombstones += 1
-        if (self._tombstones >= _COMPACT_MIN_TOMBSTONES
-                and self._tombstones * 2 >= len(self._queue)):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop tombstones and re-heapify (amortised O(1) per cancellation)."""
-        self._queue = [e for e in self._queue if not e.cancelled]
-        heapq.heapify(self._queue)
-        self._tombstones = 0
-        self._compactions += 1
+        freelist = self._freelist
+        if freelist:
+            event = freelist.pop()
+            event.time = time
+            event.seq = next(self._seq)
+            event.fn = fn
+            event.args = args
+            event.fired = False
+        else:
+            event = Event(time, next(self._seq), fn, args, self._selfref)
+        heap = self._heap_queue
+        if heap is not None:
+            heappush(heap, event)
+        else:
+            self._sched.push(event)
+        return event
 
     # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                self._tombstones -= 1
-                continue
-            self._live -= 1
-            event.fired = True
-            self.now = event.time
-            self._events_executed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        event = self._sched.pop_next()
+        if event is None:
+            return False
+        event.fired = True
+        self.now = event.time
+        self._events_executed += 1
+        event.fn(*event.args)
+        if len(self._freelist) < FREELIST_MAX and sys.getrefcount(event) == 2:
+            event.fn = noop
+            event.args = ()
+            self._freelist.append(event)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, ``until`` passes, or the event
@@ -185,22 +296,36 @@ class Simulator:
         ``until`` is inclusive: an event at exactly ``until`` executes.
         """
         self._stopped = False
+        sched = self._sched
+        if until is None and max_events is None:
+            # Drain-everything fast path: the scheduler's fused loop pops,
+            # fires, and recycles in one frame (see repro.sim.wheel).
+            sched.drain(self)
+            return self.now
+        pop_next = sched.pop_next
+        peek_time = sched.peek_time
+        freelist = self._freelist
+        getrefcount = sys.getrefcount
         executed = 0
-        while self._queue and not self._stopped:
-            head = self._queue[0]
-            if head.cancelled:
-                # Shed tombstones eagerly here so the ``until`` peek below
-                # sees the next *live* event, not a dead one's timestamp.
-                heapq.heappop(self._queue)
-                self._tombstones -= 1
-                continue
-            if until is not None and head.time > until:
-                self.now = until
-                break
+        while not self._stopped:
+            if until is not None:
+                head_time = peek_time()
+                if head_time is None or head_time > until:
+                    break
             if max_events is not None and executed >= max_events:
                 break
-            if self.step():
-                executed += 1
+            event = pop_next()
+            if event is None:
+                break
+            event.fired = True
+            self.now = event.time
+            self._events_executed += 1
+            event.fn(*event.args)
+            executed += 1
+            if len(freelist) < FREELIST_MAX and getrefcount(event) == 2:
+                event.fn = noop
+                event.args = ()
+                freelist.append(event)
         if until is not None and self.now < until:
             self.now = until
         return self.now
@@ -218,23 +343,30 @@ class Simulator:
     def pending(self) -> int:
         """Number of live events still queued, O(1).
 
-        Cancelled tombstones are *excluded*: they occupy heap slots until
-        popped or compacted but will never execute.  See :attr:`queue_depth`
-        for the raw heap size including tombstones.
+        Cancelled tombstones are *excluded*: they occupy scheduler slots
+        until popped or compacted but will never execute.  See
+        :attr:`queue_depth` for the raw structure size including tombstones.
         """
-        return self._live
+        return self._sched.live
 
     @property
     def queue_depth(self) -> int:
-        """Raw heap size, including cancelled tombstones awaiting compaction."""
-        return len(self._queue)
+        """Raw scheduler size, including cancelled tombstones awaiting reclaim."""
+        return self._sched.depth
 
     @property
     def tombstones(self) -> int:
-        """Cancelled events still occupying the heap."""
-        return self._tombstones
+        """Cancelled events still occupying the scheduler."""
+        return self._sched.tombstones
 
     @property
     def compactions(self) -> int:
-        """How many times the heap has been rebuilt to shed tombstones."""
-        return self._compactions
+        """How many times scheduler storage was rebuilt to shed tombstones."""
+        return self._sched.compactions
+
+    @property
+    def tombstones_shed(self) -> int:
+        """Tombstones physically reclaimed so far (popped, compacted, or
+        dropped during wheel migration) — one accounting path for both
+        :meth:`step` and :meth:`run`."""
+        return self._sched.shed

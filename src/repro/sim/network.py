@@ -61,7 +61,7 @@ def estimate_size(payload: Any) -> int:
     return 8
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkModel:
     """Latency/loss model for one directed link.
 
@@ -83,7 +83,7 @@ class LinkModel:
         return self.drop_prob > 0 and rng.random() < self.drop_prob
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A message in flight.
 
@@ -91,6 +91,10 @@ class Packet:
     the link's connection epoch at send time, so a reset (partition or
     endpoint crash) while the packet is in flight invalidates it.  None for
     non-FIFO links, which have no connection state to reset.
+
+    ``slots=True``: one envelope is allocated per network send, making this
+    the second-hottest allocation in the simulator after the kernel's
+    events (which are ``__slots__`` flyweights for the same reason).
     """
 
     packet_id: int
@@ -266,6 +270,7 @@ class Network:
         if dst not in self._processes:
             raise KeyError(f"unknown destination: {dst}")
         size = estimate_size(payload)
+        stats = self.stats
         packet = Packet(
             packet_id=next(self._packet_ids),
             src=src,
@@ -274,32 +279,34 @@ class Network:
             send_time=self.sim.now,
             size=size,
         )
-        self.stats.sent += 1
-        self.stats.bytes_sent += size
-        self.stats.per_sender[src] = self.stats.per_sender.get(src, 0) + 1
+        stats.sent += 1
+        stats.bytes_sent += size
+        stats.per_sender[src] = stats.per_sender.get(src, 0) + 1
 
+        # The directed-link key is consulted up to three times below (link
+        # model, FIFO clock, latency histogram); build the tuple once.
+        key = (src, dst)
         if not self.connected(src, dst):
-            self.stats.partitioned += 1
+            stats.partitioned += 1
             self._m_drop_partition.inc()
             self._on_drop(packet)
             return None
-        model = self.link(src, dst)
+        model = self._links.get(key, self.default_link)
         if model.sample_drop(self.sim.rng):
-            self.stats.dropped += 1
+            stats.dropped += 1
             self._m_drop_loss.inc()
             self._on_drop(packet)
             return None
 
         arrival = self.sim.now + model.sample_latency(self.sim.rng)
         if model.fifo:
-            key = (src, dst)
             arrival = max(arrival, self._fifo_clock.get(key, 0.0))
             self._fifo_clock[key] = arrival
             packet.link_epoch = self._link_epoch.get(key, 0)
-        hist = self._latency_hists.get((src, dst))
+        hist = self._latency_hists.get(key)
         if hist is None:
             hist = self.sim.metrics.histogram("net.link_latency", src=src, dst=dst)
-            self._latency_hists[(src, dst)] = hist
+            self._latency_hists[key] = hist
         hist.observe(arrival - self.sim.now)
         self.sim.call_at(arrival, self._deliver, packet)
         return packet

@@ -33,6 +33,9 @@ class Process:
         self._timers: List[Timer] = []
         #: payload-type -> handler, consulted before :meth:`on_message`.
         self._handlers: Dict[Type, Callable[[str, Any], None]] = {}
+        #: concrete payload type -> resolved handler (memoized MRO walk);
+        #: invalidated wholesale by :meth:`add_message_handler`.
+        self._dispatch_cache: Dict[Type, Callable[[str, Any], None]] = {}
         network.attach(self)
         sim.call_at(sim.now, self._start)
 
@@ -62,18 +65,32 @@ class Process:
         isinstance chain in :meth:`on_message`.  Dispatch walks the payload's
         MRO so a handler registered for a base class catches subclasses;
         packets matching no handler fall through to :meth:`on_message`.
+
+        Registering a handler invalidates the dispatch cache: a later, more
+        specific registration must win for payload types already seen.
         """
         self._handlers[payload_type] = handler
+        self._dispatch_cache.clear()
 
     def dispatch(self, src: str, payload: Any) -> None:
-        """Route one inbound payload through the registered handlers."""
-        if self._handlers:
-            for klass in type(payload).__mro__:
-                handler = self._handlers.get(klass)
-                if handler is not None:
-                    handler(src, payload)
-                    return
-        self.on_message(src, payload)
+        """Route one inbound payload through the registered handlers.
+
+        The MRO walk runs once per concrete payload type; the resolved
+        handler (or the :meth:`on_message` fallback) is memoized, so the
+        per-delivery cost is a single dict probe.
+        """
+        klass = type(payload)
+        handler = self._dispatch_cache.get(klass)
+        if handler is None:
+            handler = self.on_message
+            if self._handlers:
+                for base in klass.__mro__:
+                    registered = self._handlers.get(base)
+                    if registered is not None:
+                        handler = registered
+                        break
+            self._dispatch_cache[klass] = handler
+        handler(src, payload)
 
     def send(self, dst: str, payload: Any) -> None:
         """Send a payload to another process.  No-op while crashed."""

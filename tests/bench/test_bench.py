@@ -21,7 +21,7 @@ def _record(metrics, **extra):
 
 
 BASE_METRICS = {
-    "kernel_events_per_sec": 100_000.0,
+    "kernel_events_per_sec": 2_000_000.0,  # above the 1M floor gate
     "network_msgs_per_sec": 50_000.0,
     "multicast_us_per_delivery": {"raw": 10.0, "causal": 30.0},
     "clock_compare_ns": {"dict": 20_000.0, "dense": 9_000.0},
@@ -93,7 +93,7 @@ def test_load_rejects_wrong_schema(tmp_path):
 
 def test_compare_flags_throughput_drop():
     worse = json.loads(json.dumps(BASE_METRICS))
-    worse["kernel_events_per_sec"] = 60_000.0  # -40%, beyond 25%
+    worse["kernel_events_per_sec"] = 1_200_000.0  # -40%, beyond 25% (floor ok)
     rows = ledger.compare_records(
         _record(BASE_METRICS), _record(worse), threshold=0.25)
     by_metric = {row["metric"]: row for row in rows}
@@ -104,7 +104,7 @@ def test_compare_flags_throughput_drop():
 def test_compare_flags_latency_rise_but_not_improvement():
     changed = json.loads(json.dumps(BASE_METRICS))
     changed["clock_compare_ns"]["dense"] = 18_000.0  # 2x slower: regression
-    changed["kernel_events_per_sec"] = 500_000.0     # 5x faster: fine
+    changed["kernel_events_per_sec"] = 10_000_000.0  # 5x faster: fine
     rows = ledger.compare_records(
         _record(BASE_METRICS), _record(changed), threshold=0.25)
     by_metric = {row["metric"]: row for row in rows}
@@ -114,7 +114,7 @@ def test_compare_flags_latency_rise_but_not_improvement():
 
 def test_compare_threshold_is_respected():
     worse = json.loads(json.dumps(BASE_METRICS))
-    worse["kernel_events_per_sec"] = 85_000.0  # -15%
+    worse["kernel_events_per_sec"] = 1_700_000.0  # -15%
     base = _record(BASE_METRICS)
     loose = ledger.compare_records(base, _record(worse), threshold=0.25)
     tight = ledger.compare_records(base, _record(worse), threshold=0.10)
@@ -123,10 +123,11 @@ def test_compare_threshold_is_respected():
 
 
 def test_compare_skips_metrics_missing_from_either_side():
-    thin = {"kernel_events_per_sec": 100_000.0}
+    thin = {"kernel_events_per_sec": 2_000_000.0}
     rows = ledger.compare_records(_record(thin), _record(BASE_METRICS))
     # Relative gates need both sides; floor gates judge the candidate alone,
-    # so suite.speedup still gets a row against its absolute bar.
+    # so suite.speedup still gets a row against its absolute bar.  The
+    # kernel metric is gated both ways but appears exactly once (merged).
     assert [row["metric"] for row in rows] == \
         ["kernel_events_per_sec", "suite.speedup"]
 
@@ -181,6 +182,84 @@ def test_cli_compare_fails_on_floor_violation(tmp_path, capsys):
     assert "suite.speedup" in capsys.readouterr().out
 
 
+def test_kernel_floor_merges_into_the_relative_row():
+    # A steady 900k ev/s never moves relatively, but it is under the 1M
+    # floor: exactly one row for the metric, carrying both verdicts.
+    steady = json.loads(json.dumps(BASE_METRICS))
+    steady["kernel_events_per_sec"] = 900_000.0
+    rows = ledger.compare_records(_record(steady), _record(steady))
+    kernel_rows = [r for r in rows if r["metric"] == "kernel_events_per_sec"]
+    assert len(kernel_rows) == 1
+    row = kernel_rows[0]
+    assert row["floor"] == 1_000_000.0
+    assert row["change"] == 0.0
+    assert row["regressed"]
+    rendered = ledger.render_comparison(rows)
+    line = next(ln for ln in rendered.splitlines()
+                if "kernel_events_per_sec" in ln)
+    assert "REGRESSED" in line and "floor 1e+06" in line
+
+
+def test_kernel_above_floor_is_not_flagged_by_the_floor():
+    rows = ledger.compare_records(_record(BASE_METRICS), _record(BASE_METRICS))
+    row = next(r for r in rows if r["metric"] == "kernel_events_per_sec")
+    assert row["floor"] == 1_000_000.0 and not row["regressed"]
+
+
+def _sweep_record(speedup):
+    metrics = json.loads(json.dumps(BASE_METRICS))
+    metrics["parallel_sweep"] = {
+        "sequential_s": 20.0, "parallel_s": 18.0, "jobs": 2, "seeds": 16,
+        "speedup": speedup,
+    }
+    return _record(metrics)
+
+
+def test_parallel_sweep_floor_fails_sub_one_speedup():
+    # The BENCH_5 regression shape: 0.925 at jobs=2, previously ungated.
+    rows = ledger.compare_records(_sweep_record(0.925), _sweep_record(0.925))
+    row = next(r for r in rows if r["metric"] == "parallel_sweep.speedup")
+    assert row["regressed"] and row["floor"] == 1.0
+
+
+def test_parallel_sweep_null_speedup_skips_the_floor():
+    # A single-core host records timings but nulls the speedup; the gate
+    # must skip the metric instead of crashing or flagging it.
+    rows = ledger.compare_records(_sweep_record(1.4), _sweep_record(None))
+    assert all(r["metric"] != "parallel_sweep.speedup" for r in rows)
+
+
+def test_parallel_sweep_workload_skips_speedup_on_single_core(monkeypatch):
+    import repro.experiments.engine as engine
+
+    monkeypatch.setattr(engine, "effective_cpu_count", lambda: 1)
+    monkeypatch.setattr(
+        workloads, "_speedup_pair",
+        lambda extra, jobs, repeats: {
+            "sequential_s": 1.0, "parallel_s": 1.1, "jobs": jobs,
+            "speedup": 0.909,
+        })
+    out = workloads.parallel_sweep(jobs=2, seeds=4, repeats=1)
+    assert out["speedup"] is None
+    assert "effective_cpu_count=1" in out["speedup_skipped"]
+    assert out["sequential_s"] == 1.0 and out["parallel_s"] == 1.1
+
+
+def test_parallel_sweep_workload_keeps_speedup_on_multicore(monkeypatch):
+    import repro.experiments.engine as engine
+
+    monkeypatch.setattr(engine, "effective_cpu_count", lambda: 4)
+    monkeypatch.setattr(
+        workloads, "_speedup_pair",
+        lambda extra, jobs, repeats: {
+            "sequential_s": 2.0, "parallel_s": 1.0, "jobs": jobs,
+            "speedup": 2.0,
+        })
+    out = workloads.parallel_sweep(jobs=2, seeds=4, repeats=1)
+    assert out["speedup"] == 2.0
+    assert "speedup_skipped" not in out
+
+
 # -- CLI ---------------------------------------------------------------------------
 
 
@@ -227,6 +306,33 @@ def test_cli_compare_explicit_paths(tmp_path):
         ["compare", "--baseline", base, "--candidate", cand]) == 1
     assert bench_main(
         ["compare", "--baseline", base, "--candidate", base]) == 0
+
+
+def test_profile_diff_covers_both_schedulers():
+    from repro.bench.profile import SCHEMA, profile_diff, render_profile_diff
+
+    doc = profile_diff(events=2_000, top=5)
+    assert doc["schema"] == SCHEMA
+    assert set(doc["schedulers"]) == {"heap", "wheel"}
+    for side in doc["schedulers"].values():
+        assert side["events"] == 2_000
+        assert 0 < len(side["top"]) <= 5
+        assert all(e["tottime_s"] >= 0 for e in side["top"])
+    # The wheel build must show its own frames in the delta — that is the
+    # whole point of the diff (attribution, not just totals).
+    assert any("wheel" in row["function"] for row in doc["delta"])
+    rendered = render_profile_diff(doc)
+    assert "== heap:" in rendered and "== wheel:" in rendered
+    assert "delta (wheel - heap)" in rendered
+
+
+def test_cli_profile_writes_json_artifact(tmp_path, capsys):
+    out = tmp_path / "profile_diff.json"
+    assert bench_main(
+        ["profile", "--events", "2000", "--top", "5", "--out", str(out)]) == 0
+    assert "delta (wheel - heap)" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert set(doc["schedulers"]) == {"heap", "wheel"}
 
 
 def test_cli_run_writes_next_record(tmp_path, capsys, monkeypatch):

@@ -1,0 +1,270 @@
+"""The timing-wheel scheduler and the heap/wheel differential contract.
+
+The wheel (:mod:`repro.sim.wheel`) must be *observably identical* to the
+heap scheduler for any program: same ``(time, seq)`` execution order, same
+final clock, same live-event accounting.  The structural gauges
+(``tombstones``, ``compactions``, ``queue_depth``) legitimately differ —
+the wheel reclaims per bucket while the heap compacts wholesale — so the
+differential suite compares execution behaviour and the *conservation*
+invariant, never structure internals.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.wheel import SCHEDULERS, TimingWheel
+
+# -- selection seam ----------------------------------------------------------------
+
+
+def test_registry_offers_both_schedulers():
+    assert set(SCHEDULERS) == {"heap", "wheel"}
+
+
+def test_constructor_selects_scheduler():
+    assert Simulator(scheduler="heap").scheduler_name == "heap"
+    assert Simulator(scheduler="wheel").scheduler_name == "wheel"
+
+
+def test_default_scheduler_is_heap():
+    # Deliberate: measured on the timer-chain workload, C heapq beats the
+    # pure-Python wheel at every realistic depth (see docs/PERFORMANCE.md).
+    assert "REPRO_SIM_SCHEDULER" not in os.environ
+    assert Simulator().scheduler_name == "heap"
+
+
+def test_env_seam_selects_scheduler(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "wheel")
+    assert Simulator().scheduler_name == "wheel"
+    # An explicit constructor argument beats the environment.
+    assert Simulator(scheduler="heap").scheduler_name == "heap"
+
+
+def test_unknown_scheduler_is_rejected():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        Simulator(scheduler="splay-tree")
+
+
+def test_wheel_rejects_bad_geometry():
+    with pytest.raises(ValueError, match="power of two"):
+        TimingWheel(num_slots=1000)
+    with pytest.raises(ValueError, match="positive"):
+        TimingWheel(slot_width=0.0)
+
+
+# -- wheel-specific structure behaviour --------------------------------------------
+
+
+def test_far_future_events_overflow_and_migrate():
+    # Default geometry: 1024 slots x width 1.0 => horizon of 1024 ticks.
+    sim = Simulator(scheduler="wheel")
+    order = []
+    sim.call_later(5000.0, order.append, "far")
+    sim.call_later(2000.0, order.append, "mid")
+    sim.call_later(1.0, order.append, "near")
+    assert sim.pending == 3
+    sim.run()
+    assert order == ["near", "mid", "far"]
+    assert sim.now == 5000.0
+
+
+def test_overflow_events_survive_interleaved_pushes():
+    sim = Simulator(scheduler="wheel")
+    order = []
+
+    def reschedule_near():
+        order.append("first")
+        sim.call_later(10.0, order.append, "second")
+
+    sim.call_later(1.0, reschedule_near)
+    sim.call_later(3000.0, order.append, "far")
+    sim.run()
+    assert order == ["first", "second", "far"]
+
+
+def test_cursor_retreat_after_horizon_peek():
+    # run(until=...) peeks the far event, advancing the cursor past quiet
+    # slots without executing anything; a later push must legally land
+    # *behind* the cursor and still fire first.
+    sim = Simulator(scheduler="wheel")
+    order = []
+    sim.call_later(500.0, order.append, "far")
+    sim.run(until=100.0)
+    assert order == [] and sim.now == 100.0
+    sim.call_later(50.0, order.append, "near")  # t=150, behind tick 500
+    sim.run()
+    assert order == ["near", "far"]
+
+
+def test_same_bucket_different_laps_fire_in_time_order():
+    # Ticks t and t + num_slots share a ring index; the later lap must wait.
+    sim = Simulator(scheduler="wheel")
+    order = []
+    sim.call_later(3.0, order.append, "lap0")
+    sim.call_later(3.0 + 1024.0, order.append, "lap1")
+    sim.call_later(3.0 + 2048.0, order.append, "lap2")
+    sim.run()
+    assert order == ["lap0", "lap1", "lap2"]
+
+
+def test_equal_times_fire_in_insertion_order_across_structures():
+    sim = Simulator(scheduler="wheel")
+    order = []
+    # Same tick, mixed ring/overflow residency at push time.
+    sim.call_later(2000.0, order.append, "a")  # overflow at push
+    sim.call_later(1.0, lambda: sim.call_later(1999.0, order.append, "b"))
+    sim.run()
+    assert order == ["a", "b"]
+
+
+def test_per_bucket_compaction_reclaims_cancelled_timers():
+    sim = Simulator(scheduler="wheel")
+    survivors = []
+    for round_ in range(40):
+        timers = [sim.call_later(100.0, survivors.append, (round_, i))
+                  for i in range(50)]
+        for timer in timers:
+            timer.cancel()
+    assert sim.pending == 0
+    assert sim.compactions > 0
+    # Per-slot reclamation keeps the dead weight bounded well below the
+    # 2000 cancellations issued.
+    assert sim.queue_depth < 200
+    assert sim.queue_depth == sim.tombstones
+    assert sim.tombstones_shed + sim.tombstones == 2000
+
+
+def test_overflow_cancellation_is_reclaimed():
+    sim = Simulator(scheduler="wheel")
+    timers = [sim.call_later(5000.0 + i, lambda: None) for i in range(200)]
+    for timer in timers:
+        timer.cancel()
+    assert sim.pending == 0
+    assert sim.compactions > 0
+    sim.run()
+    assert sim.events_executed == 0
+    assert sim.queue_depth == 0
+
+
+def test_stop_halts_wheel_drain():
+    sim = Simulator(scheduler="wheel")
+    fired = []
+    sim.call_later(1.0, fired.append, 1)
+    sim.call_later(2.0, sim.stop)
+    sim.call_later(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [1, 3]
+
+
+def test_mass_cancellation_inside_callback_keeps_draining():
+    # A callback that cancels enough timers to trigger compaction while
+    # run() holds the structure in locals: events after the compaction
+    # point must still fire (regression guard for in-place compaction —
+    # a rebind would strand the drain loop on a stale list).
+    for scheduler in ("heap", "wheel"):
+        sim = Simulator(scheduler=scheduler)
+        doomed = [sim.call_later(500.0 + (i % 3), lambda: None)
+                  for i in range(300)]
+        fired = []
+
+        def massacre():
+            for timer in doomed:
+                timer.cancel()
+
+        sim.call_later(1.0, massacre)
+        sim.call_later(2.0, fired.append, "after")
+        sim.run()
+        assert fired == ["after"], scheduler
+        assert sim.pending == 0, scheduler
+
+
+# -- differential: heap vs wheel ---------------------------------------------------
+
+
+def _run_program(scheduler, ops):
+    """Drive one op list through a Simulator; return the observable trace."""
+    sim = Simulator(seed=7, scheduler=scheduler)
+    trace = []
+    timers = []
+    counter = [0]
+
+    def fire(tag):
+        trace.append(("fire", tag, sim.now))
+        # Every third firing schedules a follow-up, so execution order
+        # feeds back into the schedule (order bugs compound, not hide).
+        counter[0] += 1
+        if counter[0] % 3 == 0:
+            timers.append(sim.call_later(2.5, fire, f"{tag}+"))
+
+    for op, value in ops:
+        if op == "sched":
+            # Mix of sub-slot, in-ring, and beyond-horizon delays.
+            delay = [0.0, 0.25, 1.0, 7.5, 900.0, 1500.0, 3000.0][value % 7]
+            timers.append(sim.call_later(delay, fire, len(timers)))
+        elif op == "cancel" and timers:
+            timers[value % len(timers)].cancel()
+        elif op == "step":
+            sim.step()
+        elif op == "until":
+            sim.run(until=sim.now + float(value % 50))
+        elif op == "burst":
+            sim.run(max_events=value % 5)
+    sim.run()
+    return trace, sim.now, sim.events_executed, sim.pending
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["sched", "cancel", "step", "until", "burst"]),
+              st.integers(min_value=0, max_value=10_000)),
+    max_size=60,
+))
+def test_schedulers_execute_identically(ops):
+    """The differential contract: identical (time, seq) execution order and
+    final observable state for ANY program.  Structure gauges (tombstones,
+    compactions, queue_depth) are deliberately NOT compared — per-bucket
+    vs whole-heap reclamation makes them differ without any behavioural
+    difference."""
+    heap = _run_program("heap", ops)
+    wheel = _run_program("wheel", ops)
+    assert heap == wheel
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["sched", "cancel", "step", "burst"]),
+                max_size=80))
+def test_wheel_conserves_events(ops):
+    """The kernel conservation invariant, pinned to the wheel build (the
+    heap build is covered by test_kernel_regressions)."""
+    sim = Simulator(scheduler="wheel")
+    fired = []
+    timers = []
+    scheduled = 0
+    cancelled = 0
+    for op in ops:
+        if op == "sched":
+            delay = float([0, 1, 3, 1200][len(timers) % 4])
+            timers.append(sim.call_later(delay, fired.append, None))
+            scheduled += 1
+        elif op == "cancel" and timers:
+            timer = timers.pop(0)
+            if timer.active:
+                timer.cancel()
+                cancelled += 1
+        elif op == "step":
+            sim.step()
+        elif op == "burst":
+            sim.run(max_events=3)
+        assert sim.pending + len(fired) + cancelled == scheduled
+        assert sim.queue_depth == sim.pending + sim.tombstones
+    sim.run()
+    assert sim.pending == 0
+    assert len(fired) + cancelled == scheduled
+    assert sim.events_executed == len(fired)
