@@ -28,9 +28,11 @@ Hot-path design: :class:`Event` is a ``__slots__`` flyweight that serves as
 its own :class:`Timer` handle (the two names alias one class), and the
 kernel keeps a small free-list of fired events.  An event is recycled only
 when, after its callback returns, the run loop holds the sole remaining
-reference (checked with :func:`sys.getrefcount`) — if any caller kept the
-Timer handle, the object is simply left to the allocator, so handle state
-(``fired``, ``cancelled``, ``time``) stays valid forever.
+reference (a refcount check centralized as ``RECYCLE_REFS``/``live_refs``
+in :mod:`repro.sim.wheel`; CPython-only, disabled cleanly elsewhere) — if
+any caller kept the Timer handle, the object is simply left to the
+allocator, so handle state (``fired``, ``cancelled``, ``time``) stays
+valid forever.
 """
 
 from __future__ import annotations
@@ -38,13 +40,20 @@ from __future__ import annotations
 import itertools
 import os
 import random
-import sys
 import weakref
 from heapq import heappush
 from typing import Any, Callable, Optional
 
 from repro.obs import MetricsRegistry
-from repro.sim.wheel import FREELIST_MAX, SCHEDULERS, HeapScheduler, SchedulerImpl, noop
+from repro.sim.wheel import (
+    FREELIST_MAX,
+    RECYCLE_REFS,
+    SCHEDULERS,
+    HeapScheduler,
+    SchedulerImpl,
+    live_refs,
+    noop,
+)
 
 
 class Event:
@@ -283,7 +292,8 @@ class Simulator:
         self.now = event.time
         self._events_executed += 1
         event.fn(*event.args)
-        if len(self._freelist) < FREELIST_MAX and sys.getrefcount(event) == 2:
+        # One-binding call shape pinned by RECYCLE_REFS (see repro.sim.wheel).
+        if len(self._freelist) < FREELIST_MAX and live_refs(event) == RECYCLE_REFS:
             event.fn = noop
             event.args = ()
             self._freelist.append(event)
@@ -305,7 +315,7 @@ class Simulator:
         pop_next = sched.pop_next
         peek_time = sched.peek_time
         freelist = self._freelist
-        getrefcount = sys.getrefcount
+        refs = live_refs
         executed = 0
         while not self._stopped:
             if until is not None:
@@ -322,7 +332,8 @@ class Simulator:
             self._events_executed += 1
             event.fn(*event.args)
             executed += 1
-            if len(freelist) < FREELIST_MAX and getrefcount(event) == 2:
+            # One-binding call shape pinned by RECYCLE_REFS (see repro.sim.wheel).
+            if len(freelist) < FREELIST_MAX and refs(event) == RECYCLE_REFS:
                 event.fn = noop
                 event.args = ()
                 freelist.append(event)

@@ -49,6 +49,13 @@ Design notes for the wheel:
   legally target an earlier tick.  Pushing behind the cursor moves the
   cursor back — the pop scan re-walks forward, skipping slots it already
   drained (their heads point past consumed entries).
+- **Consumed prefixes.**  Pops and tombstone sheds advance a per-bucket
+  head pointer without deleting entries, so ``bucket[:head]`` can hold
+  dead events that sort *after* a later push (a shed tombstone's time is
+  unconstrained by the clock).  Only the suffix ``bucket[head:]`` is kept
+  sorted: pushes and migrations insort with ``lo=head``, never against
+  the prefix — inserting under the head would orphan the new event and
+  double-shed the prefix (the REVIEW event-loss regression).
 - **Sparse-jump hint.**  ``_min_tick`` is a lower bound on the tick of
   every unconsumed ring entry; the pop scan jumps straight there (clamped
   by the overflow head) instead of inspecting empty slots one by one.  A
@@ -78,9 +85,9 @@ instead of behind a ``pop_next`` call per event.
 
 from __future__ import annotations
 
+import sys
 from bisect import insort
 from heapq import heapify, heappop, heappush
-from sys import getrefcount
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
@@ -100,6 +107,35 @@ BUCKET_COMPACT_MIN = 16
 #: Cap on recycled events retained for reuse; beyond this, fired events are
 #: released to the allocator like any other object.
 FREELIST_MAX = 512
+
+#: Free-list recycling decides "nobody kept the Timer handle" by exact
+#: refcount: after an event's callback returns, the popping loop compares
+#: ``live_refs(event)`` against this constant.  Every popping loop —
+#: :meth:`HeapScheduler.drain`, :meth:`TimingWheel.drain`,
+#: :meth:`repro.sim.kernel.Simulator.step`, and the bounded loop in
+#: :meth:`repro.sim.kernel.Simulator.run` — holds the event in exactly ONE
+#: local binding at the check, so sole ownership is::
+#:
+#:     RECYCLE_REFS == 1 (the loop's `event` local) + 1 (getrefcount's arg)
+#:
+#: This is deliberately centralized: if a call site grows a second binding
+#: around the check (a temp, a closure cell, a log capture), recycling
+#: silently stops matching there — harmless but wasteful; if a call site
+#: *drops* its binding (e.g. firing straight off a container slot), a
+#: still-held handle could match and be recycled while live.  Keep every
+#: call site at the one-binding shape above, or change RECYCLE_REFS in
+#: lockstep across all of them.
+RECYCLE_REFS = 2
+
+if hasattr(sys, "getrefcount") and getattr(sys, "_is_gil_enabled", lambda: True)():
+    live_refs = sys.getrefcount
+else:  # pragma: no cover - non-CPython / free-threaded fallback
+    # PyPy has no getrefcount; free-threaded CPython's counts include
+    # biased cross-thread references.  Returning a sentinel that can never
+    # equal RECYCLE_REFS disables recycling cleanly: fired events simply
+    # fall to the allocator, which is correct, just unrecycled.
+    def live_refs(obj: object) -> int:
+        return -1
 
 
 def noop() -> None:
@@ -195,7 +231,7 @@ class HeapScheduler:
         freelist = sim._freelist
         park = freelist.append
         pop = heappop
-        refs = getrefcount
+        refs = live_refs
         while queue:
             if sim._stopped:
                 return
@@ -208,9 +244,8 @@ class HeapScheduler:
             sim.now = event.time
             sim._events_executed += 1
             event.fn(*event.args)
-            # Refcount 2 == this loop's binding + getrefcount's argument:
-            # nobody kept the Timer handle, so the object is recyclable.
-            if refs(event) == 2 and len(freelist) < FREELIST_MAX:
+            # One-binding call shape pinned by RECYCLE_REFS (see its doc).
+            if refs(event) == RECYCLE_REFS and len(freelist) < FREELIST_MAX:
                 event.fn = noop
                 event.args = ()
                 park(event)
@@ -285,9 +320,14 @@ class TimingWheel:
                 self._cursor = tick
             if tick < self._min_tick or self._wheel_count == 0:
                 self._min_tick = tick
-            bucket = self._buckets[tick & self._mask]
+            idx = tick & self._mask
+            bucket = self._buckets[idx]
             if bucket and event < bucket[-1]:
-                insort(bucket, event)
+                # Insort only within the unconsumed suffix: entries before
+                # the head pointer are already fired/shed and may sort after
+                # this event, and inserting under the head would orphan the
+                # new event and double-shed the prefix.
+                insort(bucket, event, self._heads[idx])
             else:
                 bucket.append(event)
             self._wheel_count += 1
@@ -364,9 +404,11 @@ class TimingWheel:
             tick = event.tick
             if tick < self._min_tick or self._wheel_count == 0:
                 self._min_tick = tick
-            bucket = buckets[tick & mask]
+            idx = tick & mask
+            bucket = buckets[idx]
             if bucket and event < bucket[-1]:
-                insort(bucket, event)
+                # As in push(): never insert under the consumed prefix.
+                insort(bucket, event, self._heads[idx])
             else:
                 bucket.append(event)
             self._wheel_count += 1
@@ -494,7 +536,7 @@ class TimingWheel:
         heads = self._heads
         btombs = self._btombs
         mask = self._mask
-        refs = getrefcount
+        refs = live_refs
         while not sim._stopped:
             if self._overflow:
                 event = self._scan(True)
@@ -526,9 +568,8 @@ class TimingWheel:
             sim.now = event.time
             sim._events_executed += 1
             event.fn(*event.args)
-            # Refcount 2 == this loop's binding + getrefcount's argument:
-            # nobody kept the Timer handle, so the object is recyclable.
-            if refs(event) == 2 and len(freelist) < FREELIST_MAX:
+            # One-binding call shape pinned by RECYCLE_REFS (see its doc).
+            if refs(event) == RECYCLE_REFS and len(freelist) < FREELIST_MAX:
                 event.fn = noop
                 event.args = ()
                 freelist.append(event)

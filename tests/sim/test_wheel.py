@@ -163,6 +163,52 @@ def test_stop_halts_wheel_drain():
     assert fired == [1, 3]
 
 
+def test_push_under_consumed_bucket_head_does_not_lose_events():
+    # REVIEW regression: _scan/peek_time shed cancelled entries by advancing
+    # the bucket's head pointer but leave them physically in place; a later
+    # push into the same bucket that sorts *before* a shed tombstone must
+    # insort within the unconsumed suffix.  The broken whole-bucket insort
+    # landed the new event under the head, double-shed the tombstone
+    # (tombstones went negative) and destroyed the new event on clear().
+    for scheduler in ("heap", "wheel"):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        a = sim.call_later(5.9, fired.append, "A")
+        sim.call_later(5.95, fired.append, "B")
+        a.cancel()
+        sim.run(until=5.5)  # peeks tick 5, sheds A, leaves head past it
+        sim.call_later(0.1, fired.append, "C")  # t=5.6 < A's 5.9, same tick
+        sim.run()
+        assert fired == ["C", "B"], scheduler
+        assert sim.pending == 0, scheduler
+        assert sim.tombstones == 0, scheduler
+
+
+def test_repeated_pushes_under_multi_tombstone_prefix():
+    # Harsher variant: several shed tombstones in the consumed prefix, then
+    # multiple same-tick pushes straddling the tombstones' times, with the
+    # heap build as the order oracle.
+    results = {}
+    for scheduler in ("heap", "wheel"):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        doomed = [sim.call_later(t, fired.append, f"dead@{t}")
+                  for t in (5.7, 5.8, 5.9)]
+        sim.call_later(5.95, fired.append, "keeper")
+        for timer in doomed:
+            timer.cancel()
+        sim.run(until=5.5)  # sheds the dead prefix, head lands mid-bucket
+        assert fired == []
+        sim.call_later(0.1, fired.append, "p1")    # t=5.6 < every tombstone
+        sim.call_later(0.25, fired.append, "p2")   # t=5.75, between them
+        sim.call_later(0.42, fired.append, "p3")   # t=5.92, after them
+        sim.run()
+        results[scheduler] = (fired, sim.pending, sim.tombstones,
+                              sim.events_executed)
+    assert results["wheel"] == results["heap"]
+    assert results["wheel"][0] == ["p1", "p2", "p3", "keeper"]
+
+
 def test_mass_cancellation_inside_callback_keeps_draining():
     # A callback that cancels enough timers to trigger compaction while
     # run() holds the structure in locals: events after the compaction
@@ -213,7 +259,11 @@ def _run_program(scheduler, ops):
         elif op == "step":
             sim.step()
         elif op == "until":
-            sim.run(until=sim.now + float(value % 50))
+            # Fractional horizons on purpose: an integer `until` with
+            # slot_width 1.0 can never stop mid-slot ahead of a pending
+            # event, which is exactly the state the push-under-head
+            # regression needed (see the REVIEW regression tests above).
+            sim.run(until=sim.now + (value % 200) * 0.25)
         elif op == "burst":
             sim.run(max_events=value % 5)
     sim.run()
