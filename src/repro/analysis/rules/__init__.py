@@ -73,6 +73,7 @@ def rule_catalogue() -> Dict[str, Rule]:
 
 def _build_all_rules() -> List[Rule]:
     from repro.analysis.rules.contracts import (
+        CodecCoverageRule,
         HandlerCoverageRule,
         LayerSurfaceRule,
         PickleSafetyRule,
@@ -111,6 +112,7 @@ def _build_all_rules() -> List[Rule]:
         SpecStringRule(),
         HandlerCoverageRule(),
         PickleSafetyRule(),
+        CodecCoverageRule(),
         HiddenChannelRule(),
         SharedModuleStateRule(),
         MutableDefaultRule(),

@@ -472,3 +472,84 @@ class PickleSafetyRule(Rule):
         if getattr(module, cls.__name__, None) is not cls:
             return "class is not reachable under its own name in its module"
         return None
+
+
+# -- PROTO005: codec coverage ------------------------------------------------------
+
+
+def _real_codec_names() -> Set[str]:
+    from repro.runtime import codec
+
+    return {cls.__name__ for cls in codec.registered_classes()}
+
+
+class CodecCoverageRule(Rule):
+    """PROTO005: every layer-sent wire message has a wire-codec registration.
+
+    The UDP transport (:mod:`repro.runtime.udp`) serialises every payload
+    through :mod:`repro.runtime.codec`; a message class without a
+    registration works fine in the zero-copy simulator and then raises
+    ``CodecError`` the first time the same stack runs over a socket.  This
+    rule closes that gap statically, reusing the PR 5 flow graph: a class
+    is in scope when it is (a) sent from a method of a class registered via
+    ``register_layer`` or (b) defined in ``repro.catocs.messages`` (the
+    authoritative wire catalogue) and sent anywhere — which covers the
+    ordering layers, membership, heartbeats and the member itself, whose
+    registrations the literal-reference ``register_layer`` scan cannot see.
+    """
+
+    rule_id = "PROTO005"
+    title = "wire message sent without a codec registration"
+    severity = Severity.ERROR
+
+    def __init__(
+        self, codec_names: Optional[Callable[[], Set[str]]] = None
+    ) -> None:
+        self._codec_names = codec_names or _real_codec_names
+
+    def check_project(self, project: Any) -> Iterable[Finding]:
+        from repro.analysis.flowgraph import code_graph_for, flow_graph_for
+
+        flow = flow_graph_for(project)
+        graph = code_graph_for(project)
+        registered = self._codec_names()
+        layer_classes = flow.registered_layers
+        by_relpath = {m.relpath: m for m in project.src_modules}
+
+        def sending_class(context: str) -> str:
+            func = graph.functions.get(context)
+            owner = func.owner if func is not None else None
+            return owner.rsplit(".", 1)[-1] if owner else ""
+
+        for name in sorted(flow.sent_names()):
+            if name in registered:
+                continue
+            sites = [s for s in flow.sends if s.message == name]
+            node = flow.messages.get(name)
+            from_layer = any(
+                sending_class(s.context) in layer_classes for s in sites
+            )
+            is_wire_catalogue = (
+                node is not None and node.module == "repro.catocs.messages"
+            )
+            if not (from_layer or is_wire_catalogue):
+                continue
+            site = min(sites, key=lambda s: (s.relpath, s.lineno))
+            message = (
+                f"wire message {name} crosses the transport but has no codec "
+                "registration (repro.runtime.codec); it cannot leave the "
+                "process on the UDP backend"
+            )
+            hint = (
+                "register it with repro.runtime.codec.register_wire (a "
+                "dataclass in repro.catocs.messages is picked up by "
+                "wire_classes() automatically)"
+            )
+            mod = by_relpath.get(site.relpath)
+            if mod is not None:
+                yield self.finding(mod, site.lineno, message, hint=hint)
+            else:
+                yield make_finding(
+                    self.rule_id, self.severity, site.relpath, site.lineno,
+                    message, hint=hint,
+                )

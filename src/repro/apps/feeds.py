@@ -1,0 +1,83 @@
+"""Seeded application payload feeds for the runtime load generator.
+
+The sim-side apps (:mod:`repro.apps.trading`, :mod:`repro.apps.netnews`)
+build their own scenario processes; the real-socket host instead needs a
+plain stream of app-shaped payloads it can multicast at a configured rate.
+These generators produce exactly that: deterministic, seed-driven payload
+sequences in the two flagship application shapes — trading-floor price
+ticks (dict payloads, JSON-native on the wire) and netnews articles
+(:class:`~repro.apps.netnews.Article` dataclasses, codec-registered).
+
+Determinism matters twice over: the cross-validation harness replays the
+same feed in-sim and over UDP loopback, and the load generator's digest of
+what it sent must be reproducible across host processes started with the
+same seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator
+
+from repro.apps.netnews import Article
+
+
+def trading_ticks(seed: int = 0, start_price: float = 100.0,
+                  step: float = 1.0) -> Iterator[Dict[str, Any]]:
+    """Endless option-quote ticks: a seeded random walk with version stamps.
+
+    Each payload carries a monotonically increasing ``version`` and a
+    ``label`` (``tick:<n>``) so receivers can check ordering without
+    inspecting prices.
+    """
+    rng = random.Random(seed)
+    price = start_price
+    version = 0
+    while True:
+        version += 1
+        price += step if rng.random() < 0.5 else -step
+        yield {
+            "kind": "option",
+            "label": f"tick:{version}",
+            "version": version,
+            "price": round(price, 2),
+        }
+
+
+def netnews_articles(seed: int = 0, newsgroup: str = "comp.sys",
+                     response_prob: float = 0.4) -> Iterator[Article]:
+    """Endless article stream: inquiries with occasional referencing responses.
+
+    Mirrors the Figure-1 shape of the paper's netnews example — a response
+    is only meaningful after its inquiry — so a receiver can flag
+    response-before-inquiry anomalies from the ``references`` field alone.
+    """
+    rng = random.Random(seed)
+    serial = 0
+    inquiries: list = []
+    while True:
+        serial += 1
+        if inquiries and rng.random() < response_prob:
+            target = rng.choice(inquiries)
+            yield Article(article_id=f"a{serial}", newsgroup=newsgroup,
+                          kind="response", references=(target,))
+        else:
+            article_id = f"a{serial}"
+            inquiries.append(article_id)
+            yield Article(article_id=article_id, newsgroup=newsgroup,
+                          kind="inquiry")
+
+
+FEEDS = {
+    "trading": trading_ticks,
+    "netnews": netnews_articles,
+}
+
+
+def make_feed(name: str, seed: int = 0) -> Iterator[Any]:
+    """Look up a feed by name (``trading`` or ``netnews``)."""
+    try:
+        factory = FEEDS[name]
+    except KeyError:
+        raise ValueError(f"unknown feed {name!r}; choose from {sorted(FEEDS)}") from None
+    return factory(seed=seed)

@@ -33,6 +33,8 @@ def _measure(args: argparse.Namespace) -> Dict[str, Any]:
             workloads.kernel_events_per_sec(repeats=repeats), 1),
         "network_msgs_per_sec": round(
             workloads.network_msgs_per_sec(repeats=repeats), 1),
+        "runtime_msgs_per_sec": round(
+            workloads.runtime_msgs_per_sec(repeats=repeats), 1),
         "multicast_us_per_delivery": {
             k: round(v, 2)
             for k, v in workloads.multicast_us_per_delivery(repeats=repeats).items()

@@ -27,6 +27,7 @@ _RECORD_RE = re.compile(r"^BENCH_(\d+)\.json$")
 GATED_METRICS: Dict[str, bool] = {
     "kernel_events_per_sec": True,
     "network_msgs_per_sec": True,
+    "runtime_msgs_per_sec": True,
     "multicast_us_per_delivery.raw": False,
     "multicast_us_per_delivery.fifo": False,
     "multicast_us_per_delivery.causal": False,

@@ -177,6 +177,45 @@ def network_msgs_per_sec(msgs: int = 5_000, repeats: int = 3) -> float:
     return msgs / best_of(run, repeats)
 
 
+def runtime_msgs_per_sec(msgs: int = 300, repeats: int = 3) -> float:
+    """Wall-clock multicast throughput over real UDP loopback sockets.
+
+    The socket-path counterpart of :func:`network_msgs_per_sec`: a
+    two-member causal group exchanges ``msgs`` multicasts where every
+    payload crosses the wire codec and an OS loopback socket (encode,
+    ``sendto``, event-loop dispatch, decode, ordering, delivery).  Unlike
+    the sim workloads this is real elapsed time end to end, so it is the
+    ledger's evidence for what the transport seam actually costs
+    (docs/RUNTIME.md discusses the sim-vs-real gap).
+    """
+    import asyncio
+
+    from repro.runtime import AsyncioClock, UdpNetwork
+
+    async def scenario() -> float:
+        clock = AsyncioClock(seed=0)
+        net = UdpNetwork(clock, LinkModel(latency=0.0))
+        group = build_group(clock, net, ["a", "b"], ordering="causal",
+                            nak_delay=0.05, ack_period=0.5)
+        await net.start()
+        start = time.perf_counter()
+        deadline = start + 30.0
+        for k in range(msgs):
+            group["a"].multicast(k)
+            if k % 25 == 24:
+                await asyncio.sleep(0)  # let the loop drain the sockets
+        while len(group["b"].delivered) < msgs:
+            await asyncio.sleep(0.001)
+            if time.perf_counter() > deadline:
+                raise RuntimeError("UDP loopback bench did not converge")
+        elapsed = time.perf_counter() - start
+        net.close()
+        return elapsed
+
+    best = min(asyncio.run(scenario()) for _ in range(max(1, repeats)))
+    return msgs / best
+
+
 def multicast_us_per_delivery(
     members: int = 5,
     msgs: int = 60,

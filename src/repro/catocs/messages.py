@@ -278,3 +278,24 @@ class HybridAck(OrderingControl):
     group: str
     sender: str
     delivered: Dict[str, int]
+
+
+def wire_classes() -> Tuple[type, ...]:
+    """Every wire-message dataclass defined in this module, sorted by name.
+
+    This is the authoritative enumeration of what can cross the network:
+    the runtime codec (:mod:`repro.runtime.codec`) registers exactly this
+    set plus the vector-clock types, and the PROTO005 analysis rule holds
+    the codec registry to it.
+    """
+    import dataclasses as _dataclasses
+    import sys as _sys
+
+    module = _sys.modules[__name__]
+    return tuple(
+        obj
+        for name in sorted(vars(module))
+        if isinstance(obj := getattr(module, name), type)
+        and _dataclasses.is_dataclass(obj)
+        and obj.__module__ == __name__
+    )

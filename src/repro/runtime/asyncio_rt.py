@@ -29,19 +29,49 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class _HandleTimer:
-    """Wraps an asyncio TimerHandle with the simulator Timer's surface."""
+    """Wraps an asyncio TimerHandle with the simulator Timer's surface.
 
-    def __init__(self, handle: asyncio.TimerHandle) -> None:
-        self._handle = handle
-        self._cancelled = False
+    Mirrors :class:`repro.sim.kernel.Timer` semantics exactly: ``active`` is
+    false once the timer has either been cancelled *or fired*, ``cancel()``
+    is an idempotent no-op after firing, and ``reschedule()`` moves a live
+    timer but raises once it has fired (a fired callback cannot be un-run;
+    schedule a fresh timer instead).
+    """
+
+    __slots__ = ("_clock", "_fn", "_args", "_handle", "cancelled", "fired")
+
+    def __init__(self, clock: "AsyncioClock", fn: Callable[..., None],
+                 args: Tuple[Any, ...]) -> None:
+        self._clock = clock
+        self._fn = fn
+        self._args = args
+        self._handle: Optional[asyncio.TimerHandle] = None
+        self.cancelled = False
+        self.fired = False
+
+    def _run(self) -> None:
+        self.fired = True
+        self._fn(*self._args)
 
     def cancel(self) -> None:
-        self._cancelled = True
-        self._handle.cancel()
+        if self.fired or self.cancelled:
+            return
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def reschedule(self, delay: float) -> "_HandleTimer":
+        if self.fired:
+            raise RuntimeError(
+                "cannot reschedule a timer that has already fired; "
+                "schedule a new one with call_later()"
+            )
+        self.cancel()
+        return self._clock.call_later(delay, self._fn, *self._args)
 
     @property
     def active(self) -> bool:
-        return not self._cancelled
+        return not self.cancelled and not self.fired
 
 
 class AsyncioClock:
@@ -49,7 +79,18 @@ class AsyncioClock:
 
     def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None,
                  seed: int = 0) -> None:
-        self._loop = loop or asyncio.get_event_loop()
+        if loop is None:
+            # get_event_loop() is deprecated outside a running loop (and an
+            # error from 3.12 on); require one to be running when no loop is
+            # passed explicitly.
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                raise RuntimeError(
+                    "AsyncioClock needs a running event loop; construct it "
+                    "inside a coroutine or pass loop= explicitly"
+                ) from None
+        self._loop = loop
         self._t0 = self._loop.time()
         self.seed = seed
         self.rng = random.Random(seed)
@@ -62,7 +103,9 @@ class AsyncioClock:
         return self._loop.time() - self._t0
 
     def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> _HandleTimer:
-        return _HandleTimer(self._loop.call_later(max(delay, 0.0), fn, *args))
+        timer = _HandleTimer(self, fn, args)
+        timer._handle = self._loop.call_later(max(delay, 0.0), timer._run)
+        return timer
 
     def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> _HandleTimer:
         return self.call_later(time - self.now, fn, *args)

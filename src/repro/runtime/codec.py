@@ -1,0 +1,278 @@
+"""Versioned wire codec for everything that crosses a real network.
+
+The simulator delivers payloads by Python reference — zero-copy, and exactly
+right for a model.  A real socket needs bytes, so the UDP transport
+(:mod:`repro.runtime.udp`) runs every payload through this codec:
+
+``encode(obj)`` produces a datagram body of the form::
+
+    b"RPW" + version byte + canonical JSON
+
+where the JSON is a tagged tree: registered wire classes become
+``{"!": "<tag>", "f": {field: value, ...}}`` and non-JSON-native containers
+get explicit markers (``tuple``, ``bytes``, ``set``, ``frozenset``, and
+``map`` for dicts with non-string keys).  Plain strings, numbers, booleans,
+lists and string-keyed dicts pass through untouched, so app payloads that
+are already JSON-shaped cost nothing to register.
+
+Per-class registration is explicit: :func:`register_wire` either derives the
+field list from a dataclass or takes custom ``to_fields``/``from_fields``
+functions.  Every class in :func:`repro.catocs.messages.wire_classes` is
+registered at import time, plus both vector-clock implementations — a
+:class:`~repro.ordering.dense.DenseVectorClock` encodes through its dict
+form and *decodes as a plain* :class:`~repro.ordering.vector.VectorClock`
+(the clocks interoperate; dense is a sender-local representation, not a wire
+format).  The PROTO005 analysis rule keeps this registry honest: any wire
+message reachable from a protocol layer's send sites without a registration
+fails the build.
+
+Decoding is strict: bad magic, unknown version, truncated or malformed JSON,
+and unknown tags all raise :class:`CodecError` — the UDP transport counts
+and drops such datagrams instead of crashing the process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+MAGIC = b"RPW"
+VERSION = 1
+HEADER = MAGIC + bytes([VERSION])
+
+#: Conservative single-datagram budget (IPv4 UDP max is 65 507 payload
+#: bytes); the UDP transport refuses larger encodings instead of letting the
+#: OS truncate or reject them mid-flight.
+MAX_DATAGRAM = 65_000
+
+_MARKER = "!"
+
+
+class CodecError(ValueError):
+    """Raised for any malformed, truncated, or unregistered wire data."""
+
+
+@dataclasses.dataclass(frozen=True)
+class _Registration:
+    tag: str
+    cls: type
+    to_fields: Callable[[Any], Dict[str, Any]]
+    from_fields: Optional[Callable[[Dict[str, Any]], Any]]
+
+
+_BY_CLASS: Dict[type, _Registration] = {}
+_BY_TAG: Dict[str, _Registration] = {}
+
+
+def register_wire(
+    cls: type,
+    tag: Optional[str] = None,
+    *,
+    to_fields: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    from_fields: Optional[Callable[[Dict[str, Any]], Any]] = None,
+    encode_only: bool = False,
+) -> type:
+    """Register ``cls`` with the wire codec under ``tag`` (default: class name).
+
+    For dataclasses the field functions are derived automatically.  With
+    ``encode_only=True`` the class encodes under a tag whose *decode* side is
+    owned by another registration (e.g. ``DenseVectorClock`` encodes as the
+    ``VectorClock`` tag); the tag must already be decodable.  Returns ``cls``
+    so it can be used as a decorator.
+    """
+    if cls in _BY_CLASS:
+        raise CodecError(f"{cls.__name__} is already codec-registered")
+    tag = tag or cls.__name__
+    if to_fields is None or (from_fields is None and not encode_only):
+        if not dataclasses.is_dataclass(cls):
+            raise CodecError(
+                f"{cls.__name__} is not a dataclass; pass to_fields/from_fields explicitly"
+            )
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        if to_fields is None:
+            def to_fields(obj: Any, _names: Tuple[str, ...] = names) -> Dict[str, Any]:
+                return {name: getattr(obj, name) for name in _names}
+        if from_fields is None and not encode_only:
+            def from_fields(fields: Dict[str, Any], _cls: type = cls) -> Any:
+                return _cls(**fields)
+    if encode_only:
+        if tag not in _BY_TAG:
+            raise CodecError(f"encode-only registration for unknown tag {tag!r}")
+        from_fields = None
+    elif tag in _BY_TAG:
+        raise CodecError(f"wire tag collision: {tag!r}")
+    registration = _Registration(tag=tag, cls=cls, to_fields=to_fields, from_fields=from_fields)
+    _BY_CLASS[cls] = registration
+    if not encode_only:
+        _BY_TAG[tag] = registration
+    return cls
+
+
+def is_registered(cls: type) -> bool:
+    return cls in _BY_CLASS
+
+
+def registered_classes() -> Tuple[type, ...]:
+    """All codec-registered classes (including encode-only aliases)."""
+    return tuple(sorted(_BY_CLASS, key=lambda c: (c.__name__, c.__module__)))
+
+
+def registered_tags() -> Tuple[str, ...]:
+    return tuple(sorted(_BY_TAG))
+
+
+def _lookup(cls: type) -> Optional[_Registration]:
+    for base in cls.__mro__[:-1]:  # exclude object
+        registration = _BY_CLASS.get(base)
+        if registration is not None:
+            return registration
+    return None
+
+
+def _canonical(packed: Any) -> str:
+    return json.dumps(packed, sort_keys=True, separators=(",", ":"))
+
+
+def _pack(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return {_MARKER: "bytes", "v": bytes(value).hex()}
+    if isinstance(value, tuple):
+        return {_MARKER: "tuple", "v": [_pack(v) for v in value]}
+    if isinstance(value, list):
+        return [_pack(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        kind = "frozenset" if isinstance(value, frozenset) else "set"
+        return {_MARKER: kind, "v": sorted((_pack(v) for v in value), key=_canonical)}
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and _MARKER not in value:
+            return {k: _pack(v) for k, v in value.items()}
+        return {_MARKER: "map", "v": [[_pack(k), _pack(v)] for k, v in value.items()]}
+    registration = _lookup(type(value))
+    if registration is not None:
+        fields = registration.to_fields(value)
+        return {_MARKER: registration.tag, "f": {k: _pack(v) for k, v in fields.items()}}
+    raise CodecError(
+        f"cannot encode {type(value).__name__}: not a wire-codec-registered class "
+        "(see repro.runtime.codec.register_wire)"
+    )
+
+
+def _unpack(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [_unpack(v) for v in value]
+    if isinstance(value, dict):
+        marker = value.get(_MARKER)
+        if marker is None:
+            return {k: _unpack(v) for k, v in value.items()}
+        if marker == "tuple":
+            return tuple(_unpack(v) for v in value["v"])
+        if marker == "bytes":
+            try:
+                return bytes.fromhex(value["v"])
+            except ValueError as exc:
+                raise CodecError(f"malformed bytes payload: {exc}") from exc
+        if marker == "set":
+            return {_unpack(v) for v in value["v"]}
+        if marker == "frozenset":
+            return frozenset(_unpack(v) for v in value["v"])
+        if marker == "map":
+            return {_unpack(k): _unpack(v) for k, v in value["v"]}
+        registration = _BY_TAG.get(marker)
+        if registration is None or registration.from_fields is None:
+            raise CodecError(f"unknown wire tag: {marker!r}")
+        fields = value.get("f")
+        if not isinstance(fields, dict):
+            raise CodecError(f"wire tag {marker!r} without a field map")
+        try:
+            return registration.from_fields({k: _unpack(v) for k, v in fields.items()})
+        except CodecError:
+            raise
+        except Exception as exc:
+            raise CodecError(f"cannot rebuild {marker!r}: {exc}") from exc
+    raise CodecError(f"unexpected JSON shape: {type(value).__name__}")
+
+
+def encode(obj: Any) -> bytes:
+    """Serialize one wire object to a framed datagram body."""
+    try:
+        body = _canonical(_pack(obj))
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, CodecError):
+            raise
+        raise CodecError(f"unencodable payload: {exc}") from exc
+    return HEADER + body.encode("utf-8")
+
+
+def decode(data: bytes) -> Any:
+    """Parse a framed datagram body back into the wire object."""
+    if len(data) < len(HEADER):
+        raise CodecError(f"truncated datagram: {len(data)} bytes")
+    if data[: len(MAGIC)] != MAGIC:
+        raise CodecError("bad magic: not a repro wire datagram")
+    version = data[len(MAGIC)]
+    if version != VERSION:
+        raise CodecError(f"unsupported wire version: {version}")
+    try:
+        tree = json.loads(data[len(HEADER):].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed datagram body: {exc}") from exc
+    return _unpack(tree)
+
+
+def encode_datagram(src: str, payload: Any) -> bytes:
+    """Frame ``payload`` with its sender pid for one UDP datagram."""
+    return encode({"src": src, "payload": payload})
+
+
+def decode_datagram(data: bytes) -> Tuple[str, Any]:
+    """Inverse of :func:`encode_datagram`; returns ``(src, payload)``."""
+    obj = decode(data)
+    if not isinstance(obj, dict) or set(obj) != {"src", "payload"}:
+        raise CodecError("datagram frame is not a {src, payload} envelope")
+    src = obj["src"]
+    if not isinstance(src, str):
+        raise CodecError("datagram sender pid is not a string")
+    return src, obj["payload"]
+
+
+def _register_builtin_wire_classes() -> None:
+    """Register every CATOCS wire message plus the clock and app-payload types.
+
+    Called once at import; keeping it in a function makes the registration
+    order explicit and gives tests a single place to assert coverage.
+    """
+    from repro.catocs import messages
+    from repro.ordering.dense import DenseVectorClock
+    from repro.ordering.vector import VectorClock
+
+    for cls in messages.wire_classes():
+        register_wire(cls)
+
+    # Vector clocks: both implementations encode to the same dict form; the
+    # dense (array-backed) clock is a sender-local optimisation, so decode
+    # always canonicalises to the plain dict-backed VectorClock.  Safe
+    # because the two types compare and merge interchangeably.
+    register_wire(
+        VectorClock,
+        to_fields=lambda vc: {"counts": vc.as_dict()},
+        from_fields=lambda fields: VectorClock(fields["counts"]),
+    )
+    register_wire(
+        DenseVectorClock,
+        tag="VectorClock",
+        to_fields=lambda vc: {"counts": vc.as_dict()},
+        encode_only=True,
+    )
+
+    # App payloads that are classes rather than JSON-shaped dicts.
+    from repro.apps.netnews import Article
+
+    register_wire(Article)
+
+
+_register_builtin_wire_classes()

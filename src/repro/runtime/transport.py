@@ -1,0 +1,103 @@
+"""The transport seam: one structural protocol, three backends.
+
+The paper's claim is that ordering semantics live at the endpoints, not in
+the communication substrate.  Our code proves it by running the *same*
+:class:`repro.catocs.stack.ProtocolStack` over three interchangeable
+transports:
+
+- :class:`repro.sim.network.Network` — the discrete-event simulator network
+  (virtual time, bit-reproducible, zero-copy payload delivery);
+- :class:`repro.runtime.asyncio_rt.AsyncioNetwork` — wall-clock timers on an
+  asyncio event loop, still in-process and zero-copy;
+- :class:`repro.runtime.udp.UdpNetwork` — real UDP datagrams over loopback
+  sockets, with every payload run through the versioned wire codec
+  (:mod:`repro.runtime.codec`).
+
+:class:`Transport` is a :func:`typing.runtime_checkable` structural protocol
+so the simulator network conforms without importing anything from
+``repro.runtime`` — the sim tree stays pure (PUR001) and the dependency arrow
+points runtime → sim, never back.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Protocol, Set, Tuple, runtime_checkable
+
+from repro.sim.network import LinkModel, NetworkStats, Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+#: Attribute names every transport backend must expose.  Kept as data so
+#: tests (and debugging sessions) can diff an implementation against the
+#: seam without relying on ``isinstance`` semantics for non-callable members.
+TRANSPORT_SURFACE: Tuple[str, ...] = (
+    # wiring
+    "attach",
+    "process",
+    "pids",
+    "sim",
+    # link topology and faults
+    "default_link",
+    "set_link",
+    "set_link_symmetric",
+    "link",
+    "partition",
+    "heal",
+    "connected",
+    "note_crash",
+    # data path and accounting
+    "send",
+    "stats",
+    "drop_hooks",
+)
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Structural surface of a CATOCS transport backend.
+
+    A process attaches once, then ``send(src, dst, payload)`` is the only
+    way anything crosses the network — the substrate applies the per-link
+    latency/jitter/loss model, honours partitions, and counts traffic in
+    ``stats``.  Delivery happens by calling ``dst``'s
+    ``Process._receive_packet`` with a :class:`~repro.sim.network.Packet`.
+    """
+
+    sim: Any  # the clock the attached processes schedule against
+    default_link: LinkModel
+    stats: NetworkStats
+    drop_hooks: list
+
+    def attach(self, process: "Process") -> None: ...
+
+    def process(self, pid: str) -> "Process": ...
+
+    @property
+    def pids(self) -> Tuple[str, ...]: ...
+
+    def set_link(self, src: str, dst: str, model: LinkModel) -> None: ...
+
+    def set_link_symmetric(self, a: str, b: str, model: LinkModel) -> None: ...
+
+    def link(self, src: str, dst: str) -> LinkModel: ...
+
+    def partition(self, *groups: Set[str]) -> None: ...
+
+    def heal(self) -> None: ...
+
+    def connected(self, a: str, b: str) -> bool: ...
+
+    def note_crash(self, pid: str) -> None: ...
+
+    def send(self, src: str, dst: str, payload: Any) -> Optional[Packet]: ...
+
+
+def missing_surface(transport: Any) -> Tuple[str, ...]:
+    """Names from :data:`TRANSPORT_SURFACE` the given object lacks.
+
+    ``isinstance(x, Transport)`` only checks callable members on some
+    interpreter versions; this helper is the exhaustive check the
+    conformance tests use.
+    """
+    return tuple(name for name in TRANSPORT_SURFACE if not hasattr(transport, name))

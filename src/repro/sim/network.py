@@ -18,6 +18,13 @@ link's FIFO arrival clock is forgotten once the endpoints can talk again.
 Without the reset, post-heal traffic would be sequenced behind the
 scheduled arrivals of packets that no longer exist — phantom ordering
 delays referenced to pre-partition ghosts.
+
+This class is also the reference implementation of the transport seam
+(:class:`repro.runtime.transport.Transport`, a structural protocol — this
+module never imports the runtime): ``AsyncioNetwork`` and ``UdpNetwork``
+expose the same attach/send/link-model/partition surface, so the protocol
+stacks run unchanged on a wall-clock event loop or over real UDP loopback
+sockets (see docs/RUNTIME.md).
 """
 
 from __future__ import annotations

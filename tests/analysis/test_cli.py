@@ -85,7 +85,7 @@ def test_list_rules_covers_all_families():
     assert proc.returncode == 0
     for rule_id in ("DET001", "DET002", "DET003", "DET004", "DET005",
                     "PROTO001", "PROTO002", "PROTO003", "PROTO004",
-                    "PUR001"):
+                    "PROTO005", "PUR001"):
         assert rule_id in proc.stdout
 
 

@@ -18,7 +18,7 @@ FIXTURE_FILES = (
     sorted(p.name for p in FIXTURES.glob("det_*.py"))
     + sorted(p.name for p in FIXTURES.glob("race_*.py"))
     + sorted(p.name for p in FIXTURES.glob("flow_*.py"))
-    + ["proto_spec.py"]
+    + sorted(p.name for p in FIXTURES.glob("proto_*.py"))
 )
 
 
@@ -55,7 +55,7 @@ def test_fixture_corpus_actually_plants_violations():
     for name in FIXTURE_FILES:
         rules |= {rule for rule, _ in planted(FIXTURES / name)}
     assert {"DET001", "DET002", "DET003", "DET004", "DET005",
-            "PROTO002",
+            "PROTO002", "PROTO005",
             "RACE001", "RACE002", "RACE003", "RACE004", "RACE005",
             "FLOW001", "FLOW002", "FLOW003", "FLOW004"} <= rules
 

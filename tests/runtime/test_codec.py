@@ -1,0 +1,180 @@
+"""Wire-codec round-trip properties and malformed-datagram rejection.
+
+The hypothesis property is the satellite contract: ``decode(encode(msg))``
+is field-equal for *every* registered wire class, with strategies derived
+from the dataclass annotations so a new field on any message is covered the
+moment it lands.
+"""
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple, Union, get_args, get_origin, get_type_hints
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.netnews import Article
+from repro.catocs.messages import DataMessage, Nak, wire_classes
+from repro.ordering.dense import ClockDomain, DenseVectorClock
+from repro.ordering.vector import VectorClock
+from repro.runtime import codec
+
+PIDS = st.text(alphabet="abcd", min_size=1, max_size=3)
+SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-10**9, 10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+#: JSON-shaped app payloads plus the marked containers (tuples, bytes,
+#: non-string-keyed dicts) the codec must carry losslessly.
+PAYLOADS = st.recursive(
+    SCALARS | st.binary(max_size=8),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=3),
+        st.lists(inner, max_size=3).map(tuple),
+        st.dictionaries(st.text(max_size=5), inner, max_size=3),
+        st.dictionaries(st.integers(-9, 9), inner, max_size=3),
+    ),
+    max_leaves=8,
+)
+VECTOR_CLOCKS = st.dictionaries(PIDS, st.integers(0, 99), max_size=3).map(VectorClock)
+
+#: DataMessage without recursion into ``attached`` (covered explicitly below).
+DATA_MESSAGES = st.builds(
+    DataMessage,
+    group=PIDS, sender=PIDS, seq=st.integers(0, 999), payload=PAYLOADS,
+    sent_at=st.floats(0, 1e6, allow_nan=False), view_id=st.integers(0, 9),
+    vc=st.none() | VECTOR_CLOCKS,
+    ack_vector=st.none() | st.dictionaries(PIDS, st.integers(0, 99), max_size=3),
+    retransmit=st.booleans(), attached=st.none(),
+)
+
+
+def _field_strategy(tp: Any) -> st.SearchStrategy:
+    if tp is Any:
+        return PAYLOADS
+    if tp is str:
+        return st.text(max_size=8)
+    if tp is bool:
+        return st.booleans()
+    if tp is int:
+        return st.integers(-10**9, 10**9)
+    if tp is float:
+        return st.floats(allow_nan=False, allow_infinity=False)
+    if tp is VectorClock:
+        return VECTOR_CLOCKS
+    if tp is DataMessage:
+        return DATA_MESSAGES
+    origin = get_origin(tp)
+    args = get_args(tp)
+    if origin is Union:  # includes Optional[...]
+        return st.one_of(*[
+            st.none() if arg is type(None) else _field_strategy(arg) for arg in args
+        ])
+    if origin in (list, List):
+        return st.lists(_field_strategy(args[0]), max_size=3)
+    if origin in (dict, Dict):
+        return st.dictionaries(_field_strategy(args[0]), _field_strategy(args[1]),
+                               max_size=3)
+    if origin in (tuple, Tuple):
+        if len(args) == 2 and args[1] is Ellipsis:
+            return st.lists(_field_strategy(args[0]), max_size=3).map(tuple)
+        return st.tuples(*[_field_strategy(arg) for arg in args])
+    raise NotImplementedError(f"no strategy for annotation {tp!r}")
+
+
+def _instances(cls: type) -> st.SearchStrategy:
+    hints = get_type_hints(cls)
+    return st.builds(cls, **{
+        f.name: _field_strategy(hints[f.name]) for f in dataclasses.fields(cls)
+    })
+
+
+@pytest.mark.parametrize("cls", wire_classes() + (Article,),
+                         ids=lambda c: c.__name__)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_every_registered_wire_class_round_trips(cls, data):
+    msg = data.draw(_instances(cls))
+    assert codec.decode(codec.encode(msg)) == msg
+
+
+def test_piggybacked_attachments_round_trip():
+    inner = DataMessage(group="g", sender="b", seq=1, payload="early", sent_at=0.5,
+                        vc=VectorClock({"b": 1}))
+    outer = DataMessage(group="g", sender="a", seq=4, payload={"k": (1, b"\x00")},
+                        sent_at=2.0, vc=VectorClock({"a": 4, "b": 1}),
+                        ack_vector={"b": 1}, attached=[inner])
+    assert codec.decode(codec.encode(outer)) == outer
+
+
+def test_dense_clock_decodes_as_plain_vector_clock():
+    domain = ClockDomain(("a", "b", "c"))
+    dense = DenseVectorClock(domain, [3, 0, 7])
+    decoded = codec.decode(codec.encode(dense))
+    assert isinstance(decoded, VectorClock)
+    assert decoded.as_dict() == {"a": 3, "c": 7}
+
+
+def test_decode_returns_a_fresh_object_not_a_reference():
+    msg = DataMessage(group="g", sender="a", seq=1, payload={"x": [1]}, sent_at=0.0)
+    decoded = codec.decode(codec.encode(msg))
+    assert decoded == msg and decoded is not msg
+    assert decoded.payload is not msg.payload
+
+
+def test_datagram_frame_carries_the_sender():
+    nak = Nak(group="g", requester="b", wanted=[("a", 3)])
+    src, payload = codec.decode_datagram(codec.encode_datagram("b", nak))
+    assert src == "b" and payload == nak
+
+
+def test_unregistered_class_is_rejected_at_encode_time():
+    class NotWire:
+        pass
+
+    with pytest.raises(codec.CodecError, match="not a wire-codec-registered"):
+        codec.encode(NotWire())
+
+
+@pytest.mark.parametrize("blob", [
+    b"",
+    b"RP",
+    b"RPW",  # header cut before the version byte
+    b"XXX\x01{}",  # wrong magic
+    b"RPW\x09{}",  # unknown version
+    b"RPW\x01",  # empty body
+    b"RPW\x01{\"src\":",  # truncated JSON
+    b"RPW\x01\xff\xfe",  # not UTF-8
+    b"RPW\x01{\"!\":\"NoSuchTag\",\"f\":{}}",  # unknown tag
+    b"RPW\x01{\"!\":\"Nak\",\"f\":{\"bogus\":1}}",  # wrong field set
+    b"RPW\x01{\"!\":\"bytes\",\"v\":\"zz\"}",  # invalid hex
+    b"RPW\x011",  # valid JSON scalar, not a datagram envelope
+])
+def test_malformed_datagrams_raise_codec_error(blob):
+    with pytest.raises(codec.CodecError):
+        codec.decode_datagram(blob)
+
+
+def test_truncation_anywhere_is_rejected():
+    data = codec.encode_datagram("a", Nak(group="g", requester="a", wanted=[]))
+    for cut in range(len(data)):
+        with pytest.raises(codec.CodecError):
+            codec.decode_datagram(data[:cut])
+
+
+@settings(max_examples=50, deadline=None)
+@given(blob=st.binary(max_size=64))
+def test_random_bytes_never_crash_the_decoder(blob):
+    try:
+        codec.decode_datagram(blob)
+    except codec.CodecError:
+        pass  # rejection is the expected outcome for garbage
+
+
+def test_encoding_is_deterministic():
+    msg = DataMessage(group="g", sender="a", seq=2, payload={"b": 1, "a": 2},
+                      sent_at=1.0, vc=VectorClock({"a": 2}))
+    assert codec.encode(msg) == codec.encode(msg)

@@ -1,0 +1,194 @@
+"""The unchanged protocol stack over real UDP loopback sockets.
+
+Mirrors the asyncio_rt suite, but every payload now crosses an OS socket
+through the wire codec — no Python references survive the trip.  Latencies
+are milliseconds; the assertions are protocol guarantees (causal order,
+total order, loss repair, partition semantics), which hold regardless of
+wall-clock scheduling noise.
+"""
+
+import asyncio
+
+from repro.catocs.member import GroupMember
+from repro.runtime import AsyncioClock, UdpNetwork, run_for
+from repro.runtime.transport import Transport, missing_surface
+from repro.sim.network import LinkModel
+
+
+def _build_group(clock, net, pids, ordering, **kwargs):
+    kwargs.setdefault("nak_delay", 0.02)
+    kwargs.setdefault("ack_period", 0.05)
+    members = {}
+    for pid in pids:
+        members[pid] = GroupMember(
+            clock, net, pid, group="g", members=pids, ordering=ordering, **kwargs
+        )
+    return members
+
+
+def test_udp_network_implements_the_transport_seam():
+    async def scenario():
+        clock = AsyncioClock(seed=0)
+        net = UdpNetwork(clock)
+        assert missing_surface(net) == ()
+        assert isinstance(net, Transport)
+        net.close()
+
+    asyncio.run(scenario())
+
+
+def test_causal_group_over_udp_loopback():
+    async def scenario():
+        clock = AsyncioClock(seed=1)
+        net = UdpNetwork(clock, LinkModel(latency=0.004, jitter=0.004, drop_prob=0.1))
+        members = _build_group(clock, net, ["a", "b", "c"], "causal")
+        await net.start()
+
+        def react(src, payload, msg):
+            if payload == "cause":
+                members["b"].multicast("effect")
+
+        members["b"].on_deliver = react
+        clock.call_later(0.01, members["a"].multicast, "cause")
+        clock.call_later(0.02, members["c"].multicast, "noise")
+        await run_for(1.2)
+        net.close()
+        return {pid: m.delivered_payloads() for pid, m in members.items()}, net
+
+    orders, net = asyncio.run(scenario())
+    for pid, got in orders.items():
+        assert sorted(got) == ["cause", "effect", "noise"], (pid, got)
+        assert got.index("cause") < got.index("effect"), (pid, got)
+    assert net.decode_errors == 0
+    assert net.stats.bytes_delivered > 0  # real datagram bytes, not estimates
+
+
+def test_total_order_over_udp_loopback():
+    async def scenario():
+        clock = AsyncioClock(seed=2)
+        net = UdpNetwork(clock, LinkModel(latency=0.003, jitter=0.005))
+        members = _build_group(clock, net, ["a", "b", "c"], "total-seq")
+        await net.start()
+        for k in range(6):
+            sender = ["a", "b", "c"][k % 3]
+            clock.call_later(0.005 + k * 0.01, members[sender].multicast, f"m{k}")
+        await run_for(0.8)
+        net.close()
+        return [tuple(m.delivered_payloads()) for m in members.values()]
+
+    orders = asyncio.run(scenario())
+    assert all(len(o) == 6 for o in orders)
+    assert len(set(orders)) == 1  # identical total order over real sockets
+
+
+def test_loss_repair_over_udp_loopback():
+    async def scenario():
+        clock = AsyncioClock(seed=3)
+        net = UdpNetwork(clock, LinkModel(latency=0.003, jitter=0.002, drop_prob=0.3))
+        members = _build_group(clock, net, ["a", "b"], "raw")
+        await net.start()
+        for k in range(10):
+            clock.call_later(0.005 + k * 0.005, members["a"].multicast, k)
+        await run_for(1.5)
+        net.close()
+        return members["b"].delivered_payloads(), net.stats
+
+    delivered, stats = asyncio.run(scenario())
+    assert sorted(delivered) == list(range(10))
+    assert stats.dropped > 0  # loss actually happened and was repaired
+
+
+def test_partition_blocks_and_heal_restores():
+    async def scenario():
+        clock = AsyncioClock(seed=4)
+        net = UdpNetwork(clock, LinkModel(latency=0.002))
+        members = _build_group(clock, net, ["a", "b"], "raw",
+                               nak_delay=0.03, ack_period=0.05)
+        await net.start()
+        net.partition({"a"}, {"b"})
+        members["a"].multicast("while-split")
+        await run_for(0.1)
+        mid = list(members["b"].delivered_payloads())
+        net.heal()
+        await run_for(0.6)  # NAK repair closes the gap after heal
+        net.close()
+        return mid, members["b"].delivered_payloads(), net.stats
+
+    mid, after, stats = asyncio.run(scenario())
+    assert "while-split" not in mid
+    assert "while-split" in after
+    assert stats.partitioned > 0
+
+
+def test_deliveries_are_decoded_copies_not_references():
+    async def scenario():
+        clock = AsyncioClock(seed=5)
+        net = UdpNetwork(clock, LinkModel(latency=0.002))
+        members = _build_group(clock, net, ["a", "b"], "raw")
+        await net.start()
+        sent_payload = {"mutable": [1, 2]}
+        records = []
+        members["b"].on_deliver = lambda src, payload, msg: records.append(payload)
+        clock.call_later(0.01, members["a"].multicast, sent_payload)
+        await run_for(0.4)
+        net.close()
+        return sent_payload, records
+
+    sent_payload, records = asyncio.run(scenario())
+    assert records == [sent_payload]
+    assert records[0] is not sent_payload  # crossed the socket, not the heap
+
+
+def test_garbage_datagrams_are_counted_and_dropped():
+    async def scenario():
+        clock = AsyncioClock(seed=6)
+        net = UdpNetwork(clock, LinkModel(latency=0.002))
+        members = _build_group(clock, net, ["a", "b"], "raw")
+        await net.start()
+        loop = asyncio.get_running_loop()
+        attacker, _ = await loop.create_datagram_endpoint(
+            asyncio.DatagramProtocol, local_addr=("127.0.0.1", 0))
+        for blob in (b"not a datagram", b"RPW\x01{truncated"):
+            attacker.sendto(blob, net.address("b"))
+        clock.call_later(0.05, members["a"].multicast, "legit")
+        await run_for(0.4)
+        attacker.close()
+        net.close()
+        return members["b"].delivered_payloads(), net.decode_errors
+
+    delivered, decode_errors = asyncio.run(scenario())
+    assert delivered == ["legit"]  # the stack survived the garbage
+    assert decode_errors == 2
+
+
+def test_oversize_datagrams_are_refused_sender_side():
+    async def scenario():
+        clock = AsyncioClock(seed=7)
+        net = UdpNetwork(clock, LinkModel(latency=0.002))
+        members = _build_group(clock, net, ["a", "b"], "raw")
+        await net.start()
+        members["a"].multicast("x" * 200_000)
+        await run_for(0.2)
+        net.close()
+        return net.oversize_dropped, members["b"].delivered_payloads()
+
+    oversize, delivered = asyncio.run(scenario())
+    assert oversize >= 1
+    assert "x" * 200_000 not in delivered
+
+
+def test_udp_metrics_are_wired_into_the_registry():
+    async def scenario():
+        clock = AsyncioClock(seed=8)
+        net = UdpNetwork(clock, LinkModel(latency=0.002))
+        members = _build_group(clock, net, ["a", "b"], "raw")
+        await net.start()
+        clock.call_later(0.01, members["a"].multicast, "ping")
+        await run_for(0.3)
+        net.close()
+        return clock.metrics.snapshot()
+
+    snapshot = asyncio.run(scenario())
+    gauges = snapshot["gauges"]
+    assert {"udp.sent", "udp.delivered", "udp.bytes_sent"} <= set(gauges)
+    assert gauges["udp.sent"] >= 1
