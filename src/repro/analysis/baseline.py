@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.analysis.finding import Finding
 
@@ -36,6 +36,54 @@ def save(findings: List[Finding], path: Path) -> None:
     ]
     payload = {"schema": SCHEMA, "findings": entries}
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def update(
+    findings: List[Finding],
+    path: Path,
+    root: Path,
+    ran_rules: Set[str],
+    known_rules: Set[str],
+) -> int:
+    """Rewrite the baseline from this run, pruning stale entries.
+
+    Entries re-observed in ``findings`` are refreshed (count from this
+    run).  An old entry that was *not* re-observed is:
+
+    - **removed** when its rule id no longer exists, when its file is
+      gone, or when its rule ran this invocation and simply found nothing
+      (the finding was fixed) — all three are stale;
+    - **kept** when its rule exists but was filtered out of this run
+      (``--rules FLOW001`` must not wipe the DET entries).
+
+    Returns the number of stale entries removed, for the CLI to report.
+    """
+    old: Dict[Fingerprint, int] = {}
+    if path.is_file():
+        old = load(path)
+    observed: Counter = Counter(f.fingerprint for f in findings)
+    removed = 0
+    merged: Dict[Fingerprint, int] = dict(observed)
+    for key, count in old.items():
+        if key in observed:
+            continue  # refreshed from this run
+        rule, relpath, _context = key
+        stale = (
+            rule not in known_rules
+            or not (root / relpath).exists()
+            or rule in ran_rules
+        )
+        if stale:
+            removed += 1
+        else:
+            merged[key] = count
+    entries = [
+        {"rule": rule, "path": relpath, "context": context, "count": count}
+        for (rule, relpath, context), count in sorted(merged.items())
+    ]
+    payload = {"schema": SCHEMA, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return removed
 
 
 def load(path: Path) -> Dict[Fingerprint, int]:

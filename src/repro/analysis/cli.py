@@ -116,6 +116,48 @@ def graph_main(argv: List[str]) -> int:
     return 0
 
 
+def build_effects_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analysis effects",
+        description="Emit the handler effect tables and delivery-guarantee "
+        "model the ORD rules join (reads/writes per handler, commutativity "
+        "classification, resolved spec lattice).",
+    )
+    parser.add_argument(
+        "--format", choices=("json",), default="json",
+        help="output format (default: json)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root (default: auto-detected)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the export to this path",
+    )
+    return parser
+
+
+def effects_main(argv: List[str]) -> int:
+    import json
+
+    from repro.analysis.effects import effects_export
+    from repro.analysis.engine import load_project
+
+    args = build_effects_parser().parse_args(argv)
+    root = (args.root or default_root()).resolve()
+    if not (root / "src" / "repro").is_dir():
+        print(f"error: {root} does not look like the repo root "
+              "(no src/repro)", file=sys.stderr)
+        return 2
+    project = load_project(root=root, include_docs=False)
+    report = json.dumps(effects_export(project), indent=2, sort_keys=True) + "\n"
+    sys.stdout.write(report)
+    if args.out is not None:
+        args.out.write_text(report, encoding="utf-8")
+    return 0
+
+
 def _select_rules(
     include: Optional[str], exclude: Optional[str]
 ) -> "tuple[Optional[List], Optional[str]]":
@@ -139,6 +181,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw[:1] == ["graph"]:
         return graph_main(raw[1:])
+    if raw[:1] == ["effects"]:
+        return effects_main(raw[1:])
     args = build_parser().parse_args(raw)
 
     if args.list_rules:
@@ -176,9 +220,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.update_baseline:
         target = args.baseline or (root / DEFAULT_BASELINE)
-        baseline_mod.save(result.findings, target)
+        ran = {r.rule_id for r in (rules if rules is not None else ALL_RULES)}
+        removed = baseline_mod.update(
+            result.findings, target, root=root,
+            ran_rules=ran, known_rules=set(rule_catalogue()),
+        )
         print(f"baseline written: {target} "
-              f"({len(result.findings)} finding(s))")
+              f"({len(result.findings)} finding(s), "
+              f"{removed} stale entr{'y' if removed == 1 else 'ies'} removed)")
         return 0
 
     grandfathered = []

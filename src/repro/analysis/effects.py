@@ -1,0 +1,753 @@
+"""Handler effect inference behind the ORD rules.
+
+The paper's Fig. 5 argument is that the ordering substrate sees message
+*arrival* order, not message *meaning*: two handlers that both overwrite
+``self.running`` do not commute, and no causal multicast can know that.
+This pass computes the missing half of that judgement — for every typed
+or ``isinstance`` handler reachable through the flow graph, the set of
+process attributes it reads and writes (through locals and ``self.``
+helper-call chains), with each write classified by whether it commutes:
+
+- ``assign`` — a plain overwrite (``self.state = payload.state``): last
+  writer wins, so two concurrent deliveries race.  An assign *guarded* by
+  a semantic test (an ``if`` that reads the payload or own state — the
+  netnews dedup pattern) is treated as commuting: the application is
+  defending itself at the ends, exactly the paper's Section 4 position.
+- ``merge`` — commutative read-modify-write: ``+=``/``-=``/``|=`` and
+  grow-only container calls (``append``/``add``/``update``/...).
+- ``keyed`` — a store indexed by a payload-derived key
+  (``self.store[payload.key] = ...``): concurrent deliveries of distinct
+  messages land on distinct slots.
+- ``destructive`` — ``pop``/``remove``/``clear``/``del``: consumes state
+  that a retransmission or a not-yet-stable peer may still need (the
+  input to ORD004's stability check).
+
+Reads are recorded so ORD001 can flag the read-then-act half of the
+Fig. 5 pattern.  Everything reuses the flow graph's interprocedural
+machinery (summaries, receiver-bound call resolution, ``isinstance``
+narrowing), so the two views can never disagree about reachability; like
+the flow graph it under-approximates — opaque calls contribute nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import ClassInfo, CodeGraph, FunctionInfo, PROCESS_ROOT
+from repro.analysis.flowgraph import (
+    DISPATCH_ENTRYPOINTS,
+    FlowGraph,
+    SEND_ARG,
+    TIMER_FUNCS,
+    _ends_flow,
+    flow_graph_for,
+)
+
+#: write kinds in increasing order of commutativity trouble.
+WRITE_KINDS = ("merge", "keyed", "assign", "destructive")
+
+#: AugAssign operators that commute with themselves on numbers/sets.
+_COMMUTING_OPS = (ast.Add, ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+
+#: container methods that consume state.
+_DESTRUCTIVE_METHODS = {"pop", "popitem", "popleft", "remove", "clear", "discard"}
+
+#: grow-only/merge container methods.
+_MERGE_METHODS = {
+    "append", "appendleft", "add", "update", "extend", "insert",
+    "setdefault", "push",
+}
+
+#: plumbing attributes that are identity/infrastructure, not app state.
+INFRA_ATTRS = {
+    "pid", "sim", "env", "network", "clock", "rng", "member", "group",
+    "stack", "metrics", "logger",
+}
+
+_EFFECT_DEPTH = 6
+
+
+@dataclass(frozen=True)
+class AttrEffect:
+    """One read or write of ``self.<attr>`` reachable from a handler."""
+
+    attr: str
+    kind: str  # "read" | one of WRITE_KINDS
+    relpath: str
+    lineno: int
+    guarded: bool  # under a semantic (state/payload-reading) test
+    payload_derived: bool  # the written value mentions the payload
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in WRITE_KINDS
+
+    @property
+    def noncommuting(self) -> bool:
+        """Does delivery order change the outcome of this write?"""
+        return not self.guarded and self.kind in ("assign", "destructive")
+
+
+@dataclass(frozen=True)
+class SendEffect:
+    """A message the handler can emit, with the primitive it used."""
+
+    message: str
+    via: str
+    lineno: int
+    delayed: bool
+
+
+@dataclass
+class HandlerEffect:
+    """The effect row for one (process class, message type, handler)."""
+
+    process: str  # owning class qualname
+    process_name: str
+    message: str
+    context: str  # handler function qualname
+    relpath: str
+    lineno: int  # handler definition line
+    effects: List[AttrEffect]
+    sends: List[SendEffect]
+
+    def reads(self) -> Set[str]:
+        return {e.attr for e in self.effects if e.kind == "read"}
+
+    def writes(self) -> Set[str]:
+        return {e.attr for e in self.effects if e.is_write}
+
+    def write_effects(self, attr: str) -> List[AttrEffect]:
+        return [e for e in self.effects if e.is_write and e.attr == attr]
+
+    def acts(self) -> bool:
+        """Does this handler do anything order-observable after a read?"""
+        return bool(self.writes()) or bool(self.sends)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "process": self.process,
+            "message": self.message,
+            "context": self.context,
+            "path": self.relpath,
+            "line": self.lineno,
+            "effects": [
+                {
+                    "attr": e.attr,
+                    "kind": e.kind,
+                    "line": e.lineno,
+                    "guarded": e.guarded,
+                    "payload_derived": e.payload_derived,
+                }
+                for e in self.effects
+            ],
+            "sends": [
+                {
+                    "message": s.message,
+                    "via": s.via,
+                    "line": s.lineno,
+                    "delayed": s.delayed,
+                }
+                for s in self.sends
+            ],
+        }
+
+
+class _EffectCollector:
+    """One narrowing walk over a handler body, mirroring the flow-graph
+    closure but collecting ``self.<attr>`` effects instead of edges."""
+
+    def __init__(self, table: "EffectTable", owner: ClassInfo, message: str) -> None:
+        self._table = table
+        self._flow = table.flow
+        self._owner = owner
+        self._message = message
+        self.effects: List[AttrEffect] = []
+        self.sends: List[SendEffect] = []
+        self._seen_calls: Set[Tuple[str, Optional[str]]] = set()
+        self._seen_effects: Set[Tuple[str, str, int]] = set()
+
+    # -- entry ------------------------------------------------------------------
+
+    def run(self, func: FunctionInfo, payload: Optional[str]) -> None:
+        self._visit(func, payload, 0, guarded=False)
+        self.effects.sort(key=lambda e: (e.relpath, e.lineno, e.attr, e.kind))
+        self.sends.sort(key=lambda s: (s.lineno, s.message, s.via))
+
+    def _visit(
+        self, func: FunctionInfo, payload: Optional[str], depth: int, guarded: bool
+    ) -> None:
+        key = (func.qualname, payload)
+        if key in self._seen_calls or depth > _EFFECT_DEPTH:
+            return
+        self._seen_calls.add(key)
+        summary = self._flow._summaries.get(func.qualname)
+        if summary is None:
+            return
+        # Locals holding payload-derived values (loop keys over payload
+        # fields, extracted attributes) — statement order makes a single
+        # forward pass sufficient for the idioms this collects.
+        derived: Set[str] = set()
+        self._walk(list(func.node.body), summary, payload, depth, guarded, derived)
+
+    # -- statement walk with isinstance narrowing -------------------------------
+
+    def _walk(
+        self,
+        stmts: List[ast.stmt],
+        summary,  # type: ignore[no-untyped-def]
+        payload: Optional[str],
+        depth: int,
+        guarded: bool,
+        derived: Set[str],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                guard = self._flow._isinstance_guard(stmt.test, payload)
+                if guard is not None:
+                    classes, negated = guard
+                    matches = any(
+                        c in self._flow._mro(self._message) for c in classes
+                    )
+                    if not negated:
+                        if matches:
+                            self._walk(
+                                stmt.body, summary, payload, depth, guarded,
+                                derived,
+                            )
+                        else:
+                            self._walk(
+                                stmt.orelse, summary, payload, depth, guarded,
+                                derived,
+                            )
+                    else:
+                        if not matches:
+                            self._walk(
+                                stmt.body, summary, payload, depth, guarded,
+                                derived,
+                            )
+                            if _ends_flow(stmt.body):
+                                return
+                    continue
+                semantic = self._is_semantic_test(stmt.test, payload)
+                self._scan_expr(stmt.test, summary, payload, depth, guarded)
+                self._walk(
+                    stmt.body, summary, payload, depth, guarded or semantic,
+                    derived,
+                )
+                self._walk(
+                    stmt.orelse, summary, payload, depth, guarded or semantic,
+                    derived,
+                )
+                # ``if <state test>: return`` — the guard covers the rest
+                # of this block (the netnews early-return dedup idiom).
+                if semantic and not stmt.orelse and _ends_flow(stmt.body):
+                    guarded = True
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expr(stmt.iter, summary, payload, depth, guarded)
+                if self._payload_derived(stmt.iter, payload, derived):
+                    for name in _target_names(stmt.target):
+                        derived.add(name)
+                self._walk(stmt.body, summary, payload, depth, guarded, derived)
+                self._walk(stmt.orelse, summary, payload, depth, guarded, derived)
+            elif isinstance(stmt, ast.While):
+                self._scan_expr(stmt.test, summary, payload, depth, guarded)
+                self._walk(stmt.body, summary, payload, depth, guarded, derived)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._walk(stmt.body, summary, payload, depth, guarded, derived)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body, summary, payload, depth, guarded, derived)
+                for handler in stmt.handlers:
+                    self._walk(
+                        handler.body, summary, payload, depth, guarded, derived
+                    )
+                self._walk(
+                    stmt.finalbody, summary, payload, depth, guarded, derived
+                )
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            else:
+                self._statement(stmt, summary, payload, depth, guarded, derived)
+
+    # -- per-statement classification -------------------------------------------
+
+    def _statement(
+        self,
+        stmt: ast.stmt,
+        summary,  # type: ignore[no-untyped-def]
+        payload: Optional[str],
+        depth: int,
+        guarded: bool,
+        derived: Set[str],
+    ) -> None:
+        consumed: Set[ast.AST] = set()
+        if isinstance(stmt, ast.Assign):
+            from_payload = self._payload_derived(stmt.value, payload, derived)
+            for target in stmt.targets:
+                self._write_target(
+                    target, payload, guarded, from_payload, consumed, derived,
+                    value=stmt.value,
+                )
+                if isinstance(target, ast.Name) and from_payload:
+                    derived.add(target.id)
+        elif isinstance(stmt, ast.AugAssign):
+            from_payload = self._payload_derived(stmt.value, payload, derived)
+            merge = isinstance(stmt.op, _COMMUTING_OPS)
+            self._write_target(
+                stmt.target, payload, guarded, from_payload, consumed, derived,
+                aug_merge=merge,
+            )
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            from_payload = self._payload_derived(stmt.value, payload, derived)
+            self._write_target(
+                stmt.target, payload, guarded, from_payload, consumed, derived,
+                value=stmt.value,
+            )
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                attr_node = self._self_attr_of(target)
+                if attr_node is not None:
+                    consumed.add(attr_node)
+                    self._record(
+                        attr_node.attr, "destructive", attr_node.lineno,
+                        guarded, False,
+                    )
+        self._scan_expr(stmt, summary, payload, depth, guarded, consumed)
+
+    def _write_target(
+        self,
+        target: ast.AST,
+        payload: Optional[str],
+        guarded: bool,
+        from_payload: bool,
+        consumed: Set[ast.AST],
+        derived: Set[str],
+        aug_merge: bool = False,
+        value: Optional[ast.AST] = None,
+    ) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            consumed.add(target)
+            if aug_merge or self._is_join(value, target.attr):
+                kind = "merge"
+            else:
+                kind = "assign"
+            self._record(target.attr, kind, target.lineno, guarded, from_payload)
+        elif isinstance(target, ast.Subscript):
+            attr_node = self._self_attr_of(target.value)
+            if attr_node is None:
+                return
+            consumed.add(attr_node)
+            keyed = self._payload_derived(target.slice, payload, derived)
+            if keyed:
+                kind = "keyed"
+            elif aug_merge:
+                kind = "merge"
+            else:
+                kind = "assign"
+            self._record(attr_node.attr, kind, target.lineno, guarded, from_payload)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._write_target(
+                    element, payload, guarded, from_payload, consumed, derived,
+                    aug_merge,
+                )
+
+    def _is_join(self, value: Optional[ast.AST], attr: str) -> bool:
+        """``self.x = max(self.x, ...)`` (or ``min``) — a commutative,
+        idempotent join, not a last-writer-wins overwrite."""
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("max", "min")
+        ):
+            return False
+        return any(
+            isinstance(arg, ast.Attribute)
+            and arg.attr == attr
+            and isinstance(arg.value, ast.Name)
+            and arg.value.id == "self"
+            for arg in value.args
+        )
+
+    # -- expression scan: reads, container calls, sends, helper calls ------------
+
+    def _scan_expr(
+        self,
+        node: ast.AST,
+        summary,  # type: ignore[no-untyped-def]
+        payload: Optional[str],
+        depth: int,
+        guarded: bool,
+        consumed: Optional[Set[ast.AST]] = None,
+    ) -> None:
+        consumed = consumed if consumed is not None else set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._scan_call(child, summary, payload, depth, guarded, consumed)
+        for child in ast.walk(node):
+            if child in consumed:
+                continue
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.ctx, ast.Load)
+                and isinstance(child.value, ast.Name)
+                and child.value.id == "self"
+                and not self._is_method(child.attr)
+            ):
+                self._record(child.attr, "read", child.lineno, guarded, False)
+
+    def _scan_call(
+        self,
+        call: ast.Call,
+        summary,  # type: ignore[no-untyped-def]
+        payload: Optional[str],
+        depth: int,
+        guarded: bool,
+        consumed: Set[ast.AST],
+    ) -> None:
+        name = self._flow._call_method_name(call)
+        # self.<attr>.pop(...) / .append(...) — container write on own state.
+        if isinstance(call.func, ast.Attribute):
+            attr_node = self._self_attr_of(call.func.value)
+            if attr_node is not None and name in (
+                _DESTRUCTIVE_METHODS | _MERGE_METHODS
+            ):
+                consumed.add(attr_node)
+                kind = "destructive" if name in _DESTRUCTIVE_METHODS else "merge"
+                self._record(attr_node.attr, kind, call.lineno, guarded, False)
+                return
+        if name in SEND_ARG:
+            self._record_send(call, summary, name, delayed=False)
+            return
+        if name in TIMER_FUNCS:
+            unwrapped = self._flow._unwrap_timer(call)
+            if unwrapped is None:
+                return
+            inner, delayed, inner_name = unwrapped
+            if inner_name in SEND_ARG:
+                self._record_send(inner, summary, inner_name, delayed=delayed)
+                return
+            call, name = inner, inner_name
+        # Follow self.helper(...) chains — the callee's ``self`` is ours.
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self"
+        ):
+            return
+        for callee in self._flow._callee_candidates(call, summary):
+            if callee.owner is None:
+                continue
+            new_payload = None
+            if payload is not None:
+                new_payload = self._flow._passed_param(call, callee, payload)
+            if callee.name in DISPATCH_ENTRYPOINTS and new_payload is None:
+                continue
+            self._visit(callee, new_payload, depth + 1, guarded)
+
+    def _record_send(
+        self,
+        call: ast.Call,
+        summary,  # type: ignore[no-untyped-def]
+        via: str,
+        delayed: bool,
+    ) -> None:
+        expr = self._flow._payload_expr(call, via)
+        if expr is None:
+            return
+        resolved = self._flow._resolve_payload(expr, summary)
+        message = "<payload>"
+        if resolved is not None and resolved[0] == "class":
+            message = resolved[1]
+        self.sends.append(
+            SendEffect(message=message, via=via, lineno=call.lineno,
+                       delayed=delayed)
+        )
+
+    # -- small predicates --------------------------------------------------------
+
+    def _record(
+        self, attr: str, kind: str, lineno: int, guarded: bool, derived: bool
+    ) -> None:
+        if attr in INFRA_ATTRS:
+            return
+        key = (attr, kind, lineno)
+        if key in self._seen_effects:
+            return
+        self._seen_effects.add(key)
+        self.effects.append(
+            AttrEffect(
+                attr=attr,
+                kind=kind,
+                relpath=self._owner.relpath,
+                lineno=lineno,
+                guarded=guarded,
+                payload_derived=derived,
+            )
+        )
+
+    def _self_attr_of(self, node: ast.AST) -> Optional[ast.Attribute]:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node
+        return None
+
+    def _is_method(self, attr: str) -> bool:
+        return bool(self._flow._methods_for(self._owner.qualname, attr))
+
+    def _payload_derived(
+        self,
+        node: Optional[ast.AST],
+        payload: Optional[str],
+        derived: Optional[Set[str]] = None,
+    ) -> bool:
+        if node is None:
+            return False
+        names = set(derived or ())
+        if payload is not None:
+            names.add(payload)
+        if not names:
+            return False
+        return any(
+            isinstance(child, ast.Name) and child.id in names
+            for child in ast.walk(node)
+        )
+
+    def _is_semantic_test(self, test: ast.AST, payload: Optional[str]) -> bool:
+        """A test that reads the payload or own state — the application
+        checking semantics before acting, which makes the guarded write
+        order-defensive rather than blind."""
+        for child in ast.walk(test):
+            if (
+                payload is not None
+                and isinstance(child, ast.Name)
+                and child.id == payload
+            ):
+                return True
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and child.value.id == "self"
+                and child.attr not in INFRA_ATTRS
+                and not self._is_method(child.attr)
+            ):
+                return True
+        return False
+
+
+def _target_names(target: ast.AST) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for element in target.elts:
+            out.extend(_target_names(element))
+        return out
+    return []
+
+
+class EffectTable:
+    """Effect rows for every handler on every ``Process`` subclass."""
+
+    def __init__(self, flow: FlowGraph, graph: CodeGraph) -> None:
+        self.flow = flow
+        self.code = graph
+        self.rows: List[HandlerEffect] = []
+        self._by_process: Dict[str, List[HandlerEffect]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        seen: Set[Tuple[str, str, str]] = set()
+        for site in sorted(
+            self.flow.handlers, key=lambda h: (h.relpath, h.lineno, h.message)
+        ):
+            func = self.code.functions.get(site.context)
+            if func is None or func.owner is None:
+                continue
+            owner = self.code.class_for(func.owner)
+            if owner is None:
+                continue
+            # GroupMember subclasses Process, but in explicit-paths mode
+            # (fixtures) the member module is not scanned, so the subtype
+            # chain stops at the imported base — accept either root.
+            from repro.analysis.orders import MEMBER_ROOT
+
+            if not (
+                self.code.is_subtype(owner.qualname, PROCESS_ROOT)
+                or self.code.is_subtype(owner.qualname, MEMBER_ROOT)
+            ):
+                continue
+            key = (owner.qualname, site.message, func.qualname)
+            if key in seen:
+                continue
+            seen.add(key)
+            payload = self.flow._payload_param(func, site)
+            collector = _EffectCollector(self, owner, site.message)
+            collector.run(func, payload)
+            row = HandlerEffect(
+                process=owner.qualname,
+                process_name=owner.name,
+                message=site.message,
+                context=func.qualname,
+                relpath=func.relpath,
+                lineno=func.lineno,
+                effects=collector.effects,
+                sends=collector.sends,
+            )
+            self.rows.append(row)
+            self._by_process.setdefault(owner.qualname, []).append(row)
+        self.rows.sort(key=lambda r: (r.process, r.message, r.context))
+        for rows in self._by_process.values():
+            rows.sort(key=lambda r: (r.message, r.context))
+
+    # -- queries ----------------------------------------------------------------
+
+    def processes(self) -> List[str]:
+        return sorted(self._by_process)
+
+    def rows_for(self, process: str) -> List[HandlerEffect]:
+        return list(self._by_process.get(process, []))
+
+    def conflicts(
+        self, a: HandlerEffect, b: HandlerEffect
+    ) -> List[Tuple[str, str]]:
+        """Attributes on which handling ``a.message`` and ``b.message`` in
+        different orders can produce different states: sorted
+        ``(attr, detail)`` pairs, empty when the handlers commute."""
+        out: Dict[str, str] = {}
+        for attr in sorted(a.writes() & b.writes()):
+            a_nc = any(e.noncommuting for e in a.write_effects(attr))
+            b_nc = any(e.noncommuting for e in b.write_effects(attr))
+            if a_nc or b_nc:
+                kinds = sorted(
+                    {e.kind for e in a.write_effects(attr)}
+                    | {e.kind for e in b.write_effects(attr)}
+                )
+                out[attr] = f"write/write ({'/'.join(kinds)})"
+        for first, second in ((a, b), (b, a)):
+            if not first.acts():
+                continue
+            for attr in sorted(first.reads()):
+                if attr in out:
+                    continue
+                if any(e.noncommuting for e in second.write_effects(attr)):
+                    out[attr] = (
+                        f"read-then-act in {first.message} vs write in "
+                        f"{second.message}"
+                    )
+        return sorted(out.items())
+
+    def group_sent(self, message: str) -> bool:
+        """Is there multicast/broadcast (or group-member) send evidence for
+        ``message`` — i.e. can two members receive it concurrently?"""
+        for site in self.flow.sends:
+            if message != site.message and message not in self.flow._mro(
+                site.message
+            ):
+                continue
+            if "multicast" in site.via or "broadcast" in site.via:
+                return True
+            func = self.code.functions.get(site.context)
+            if func is not None and func.owner is not None:
+                from repro.analysis.orders import MEMBER_ROOT
+
+                if self.code.is_subtype(func.owner, MEMBER_ROOT):
+                    return True
+        return False
+
+    def sender_contexts(self, message: str) -> Set[str]:
+        """Distinct functions observed sending ``message``."""
+        out: Set[str] = set()
+        for site in self.flow.sends:
+            if message == site.message or message in self.flow._mro(site.message):
+                out.add(site.context)
+        return out
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.analysis/effects-v1",
+            "handlers": [row.to_json() for row in self.rows],
+        }
+
+
+def effect_table_for(project) -> EffectTable:  # type: ignore[no-untyped-def]
+    """Build (or reuse) the effect table for a Project — shared between
+    the ORD rules and the ``effects`` CLI subcommand."""
+    cached = getattr(project, "_effect_table", None)
+    if cached is not None:
+        return cached
+    from repro.analysis.flowgraph import code_graph_for
+
+    table = EffectTable(flow_graph_for(project), code_graph_for(project))
+    project._effect_table = table
+    return table
+
+
+def effects_export(project) -> Dict[str, object]:  # type: ignore[no-untyped-def]
+    """The full ``effects`` subcommand payload: effect rows, the guarantee
+    table, per-process resolved guarantees, and raw conflict pairs (before
+    any guarantee gating — the rules decide what is actually unsafe)."""
+    from repro.analysis.orders import guarantee_env_for
+
+    table = effect_table_for(project)
+    env = guarantee_env_for(project)
+    payload = table.to_json()
+    payload["guarantees"] = env.to_json()
+    processes: Dict[str, object] = {}
+    conflicts: List[Dict[str, object]] = []
+    for process in table.processes():
+        info = table.code.class_for(process)
+        if info is None:
+            continue
+        guarantee = env.guarantee_for(info)
+        processes[process] = guarantee.to_json()
+        rows = table.rows_for(process)
+        for i, a in enumerate(rows):
+            for b in rows[i + 1:]:
+                if a.message == b.message:
+                    continue
+                pairs = table.conflicts(a, b)
+                if not pairs:
+                    continue
+                conflicts.append(
+                    {
+                        "process": process,
+                        "a": a.message,
+                        "b": b.message,
+                        "attrs": [
+                            {"attr": attr, "detail": detail}
+                            for attr, detail in pairs
+                        ],
+                        "group_multicast": table.group_sent(a.message)
+                        and table.group_sent(b.message),
+                        "order": guarantee.order_name,
+                    }
+                )
+    payload["processes"] = processes
+    payload["conflicts"] = conflicts
+    return payload
+
+
+__all__ = [
+    "AttrEffect",
+    "EffectTable",
+    "HandlerEffect",
+    "SendEffect",
+    "INFRA_ATTRS",
+    "WRITE_KINDS",
+    "effect_table_for",
+    "effects_export",
+]

@@ -835,12 +835,29 @@ class FlowGraph:
         """Which parameter of the handler carries the message?
 
         Typed handlers follow the ``(self, src, payload)`` dispatch shape —
-        the last parameter.  For isinstance sites the function itself is
-        the context; its tested variable is found by the closure's guard
-        matching, so the payload is the last non-self parameter too.
+        the last parameter.  For isinstance dispatchers the payload is
+        whichever parameter the ``isinstance`` tests actually examine:
+        the ``on_deliver`` callback shape is ``(src, payload, msg)``, so
+        "last parameter" would pick the envelope, not the payload.
         """
         params = [p for p in func.params if p != "self"]
-        return params[-1] if params else None
+        if not params:
+            return None
+        if site.kind == "isinstance":
+            tested: Dict[str, int] = {}
+            for node in ast.walk(func.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                    and len(node.args) == 2
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in params
+                ):
+                    tested[node.args[0].id] = tested.get(node.args[0].id, 0) + 1
+            if tested:
+                return max(sorted(tested), key=lambda name: tested[name])
+        return params[-1]
 
     def _closure(
         self,

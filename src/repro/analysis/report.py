@@ -82,7 +82,12 @@ def render_sarif(
                 }
             ],
             "partialFingerprints": {
-                "reproAnalysis/v1": "/".join(finding.fingerprint)
+                "reproAnalysis/v1": "/".join(finding.fingerprint),
+                # Path-independent: (rule, stripped source line) only, so
+                # code scanning keeps alert identity across file renames.
+                "reproAnalysisContext/v1": "/".join(
+                    (finding.rule_id, finding.fingerprint[-1])
+                ),
             },
         }
         if suppressed_result:

@@ -92,6 +92,12 @@ def _build_all_rules() -> List[Rule]:
         OrphanHandlerRule,
         SendCycleRule,
     )
+    from repro.analysis.rules.ordering import (
+        ConcurrentConflictRule,
+        ExternalGateRule,
+        PreStabilityActionRule,
+        TotalOrderAssumptionRule,
+    )
     from repro.analysis.rules.purity import ImpureImportRule
     from repro.analysis.rules.races import (
         HiddenChannelRule,
@@ -122,6 +128,10 @@ def _build_all_rules() -> List[Rule]:
         OrphanHandlerRule(),
         SendCycleRule(),
         LayerBypassRule(),
+        ConcurrentConflictRule(),
+        TotalOrderAssumptionRule(),
+        ExternalGateRule(),
+        PreStabilityActionRule(),
     ]
 
 

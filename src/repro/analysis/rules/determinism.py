@@ -32,11 +32,24 @@ WALL_CLOCK_CALLS = {
     "time.perf_counter": "time.perf_counter()",
     "time.perf_counter_ns": "time.perf_counter_ns()",
     "time.process_time": "time.process_time()",
+    "time.gmtime": "time.gmtime()",
+    "time.localtime": "time.localtime()",
     "datetime.datetime.now": "datetime.now()",
     "datetime.datetime.utcnow": "datetime.utcnow()",
     "datetime.datetime.today": "datetime.today()",
     "datetime.date.today": "date.today()",
 }
+
+#: Report fields that are *supposed* to carry wall-clock readings —
+#: timestamps and duration measurements, recognisable by key name.  A
+#: clock value landing anywhere else in a ``repro.*/v1`` payload is data
+#: masquerading as timing (warning severity, even in the allowed modules).
+_TIMING_KEY_SUFFIXES = ("_at", "_s", "_ns", "_ms", "_seconds", "_time")
+_TIMING_KEYS = {"timestamp", "elapsed", "duration", "walltime"}
+
+
+def _is_timing_key(key: str) -> bool:
+    return key in _TIMING_KEYS or key.endswith(_TIMING_KEY_SUFFIXES)
 
 
 def _module_allowed(mod: SourceModule, prefixes: Tuple[str, ...]) -> bool:
@@ -46,28 +59,119 @@ def _module_allowed(mod: SourceModule, prefixes: Tuple[str, ...]) -> bool:
 
 
 class WallClockRule(Rule):
-    """DET001: wall-clock reads make a run depend on when it executes."""
+    """DET001: wall-clock reads make a run depend on when it executes.
+
+    Severity split: outside the allowed modules every wall-clock call is
+    an **error**.  Inside ``repro.bench`` / ``repro.runtime`` the calls
+    themselves are sanctioned (that is what those modules are for), but a
+    clock-derived value flowing into a schema'd report payload under a
+    key that is not a timing key is a **warning** everywhere — a report
+    field like ``run_id`` fed from ``time.time()`` makes the record
+    non-reproducible in a way the timing allowlist was never meant to
+    cover.
+    """
 
     rule_id = "DET001"
     title = "wall-clock call in deterministic code"
     severity = Severity.ERROR
 
     def check_module(self, mod: SourceModule) -> Iterable[Finding]:
-        if _module_allowed(mod, WALL_CLOCK_ALLOWED):
-            return
         imports = import_bindings(mod.tree)
+        if not _module_allowed(mod, WALL_CLOCK_ALLOWED):
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node, imports)
+                if name in WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        mod,
+                        node.lineno,
+                        f"wall-clock call {WALL_CLOCK_CALLS[name]}",
+                        hint="use the simulator's virtual time (sim.now); "
+                        "wall-clock integrations belong in repro.runtime",
+                    )
+        yield from self._report_field_flows(mod, imports)
+
+    def _contains_clock(
+        self, node: ast.AST, imports: Dict[str, str], tainted: set
+    ) -> bool:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and call_name(sub, imports) in WALL_CLOCK_CALLS
+            ):
+                return True
+            if (
+                isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id in tainted
+            ):
+                return True
+        return False
+
+    def _report_field_flows(
+        self, mod: SourceModule, imports: Dict[str, str]
+    ) -> Iterable[Finding]:
+        # Names assigned from a clock-bearing expression, closed
+        # transitively (flow-insensitive: good enough for report builders,
+        # which assign once).
+        tainted: set = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(mod.tree):
+                targets: List[str] = []
+                if isinstance(node, ast.Assign):
+                    targets = [
+                        t.id for t in node.targets if isinstance(t, ast.Name)
+                    ]
+                    value = node.value
+                elif (
+                    isinstance(node, (ast.AnnAssign, ast.AugAssign))
+                    and isinstance(node.target, ast.Name)
+                    and node.value is not None
+                ):
+                    targets = [node.target.id]
+                    value = node.value
+                else:
+                    continue
+                if not targets or not self._contains_clock(
+                    value, imports, tainted
+                ):
+                    continue
+                for name in targets:
+                    if name not in tainted:
+                        tainted.add(name)
+                        changed = True
         for node in ast.walk(mod.tree):
-            if not isinstance(node, ast.Call):
+            if not isinstance(node, ast.Dict):
                 continue
-            name = call_name(node, imports)
-            if name in WALL_CLOCK_CALLS:
-                yield self.finding(
-                    mod,
-                    node.lineno,
-                    f"wall-clock call {WALL_CLOCK_CALLS[name]}",
-                    hint="use the simulator's virtual time (sim.now); "
-                    "wall-clock integrations belong in repro.runtime",
-                )
+            keys = {
+                k.value
+                for k in node.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            }
+            if "schema" not in keys:
+                continue
+            for key, value in zip(node.keys, node.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                ):
+                    continue
+                if key.value == "schema" or _is_timing_key(key.value):
+                    continue
+                if self._contains_clock(value, imports, tainted):
+                    yield self.finding(
+                        mod,
+                        value.lineno,
+                        "wall-clock value flows into report field "
+                        f"{key.value!r}",
+                        hint="wall-clock readings belong only under timing "
+                        "keys (*_at, *_s, ...); derive data fields from "
+                        "the seeded envelope",
+                        severity=Severity.WARNING,
+                    )
 
 
 class UnseededRandomRule(Rule):

@@ -315,7 +315,13 @@ class BackupController(Process):
 
     def on_message(self, src: str, payload: Any) -> None:
         if isinstance(payload, BackupUpdate):
-            self.state = payload.state
+            # Deliberate last-writer-wins over an unordered channel: the
+            # central-controller drilling scenario reproduces the paper's
+            # Section 2 architecture as-published, and a reordered backup
+            # snapshot (stale promotion state) is one of the anomalies the
+            # experiment exists to exhibit.  A sequence guard here would
+            # fix the case study instead of measuring it.
+            self.state = payload.state  # repro: ignore[ORD002]
 
 
 def run_drilling_central(

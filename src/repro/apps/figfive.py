@@ -1,0 +1,153 @@
+"""Figure 5 as an executable experiment: non-commuting group operations
+under an ordering that permits concurrency.
+
+Two members concurrently multicast semantically conflicting commands
+(stop vs. start, and two competing speed settings).  Raw, FIFO, and even
+causal delivery allow the concurrent pair to arrive in different orders
+at different replicas, so last-writer-wins handlers diverge — the
+replicated-state anomaly of the paper's Figure 5.  Total order removes
+it by serialising the pair identically everywhere.
+
+This app is also the subject of the ORD cross-validation test
+(``tests/analysis/test_ord_crossval.py``): the static effect analysis
+must flag every message pair whose reordering this experiment can
+actually exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.catocs.member import GroupMember
+from repro.sim.kernel import Simulator
+from repro.sim.network import LinkModel, Network
+
+
+@dataclass
+class StopOrder:
+    origin: str
+
+
+@dataclass
+class StartOrder:
+    origin: str
+
+
+@dataclass
+class SetSpeed:
+    origin: str
+    value: int
+
+
+class CellReplica(GroupMember):
+    """A replicated cell controller applying commands in delivery order.
+
+    The handlers are deliberately last-writer-wins: that is the precise
+    coding style Figure 5 warns about, and what the ORD rules lint for.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, pid: str,
+                 members: Sequence[str], ordering: str = "causal") -> None:
+        super().__init__(sim, network, pid, group="figfive", members=members,
+                         ordering=ordering)
+        self.running = True
+        self.speed = 0
+        #: attr -> type name of the message that last set it (the dynamic
+        #: oracle the cross-validation test compares against ORD pairs).
+        self.last_writer: Dict[str, str] = {}
+        self.on_deliver = self._apply
+
+    # Deliberate Figure 5 reproduction: Stop/Start do not commute, and the
+    # cross-validation test proves the divergence is real under raw/fifo
+    # delivery.  The static pair analysis must keep flagging this.
+    def _apply(self, src: str, payload: Any, msg: Any) -> None:  # repro: ignore[ORD001]
+        if isinstance(payload, StopOrder):
+            self.running = False
+            self.last_writer["running"] = "StopOrder"
+        elif isinstance(payload, StartOrder):
+            self.running = True
+            self.last_writer["running"] = "StartOrder"
+        elif isinstance(payload, SetSpeed):
+            # Blind overwrite with two independent senders (order_speed and
+            # surge): the ORD002 finding here is the experiment's subject,
+            # demonstrated divergent by tests/analysis/test_ord_crossval.py.
+            self.speed = payload.value  # repro: ignore[ORD002]
+            self.last_writer["speed"] = "SetSpeed"
+
+    # -- command entry points (one sender context each) ---------------------------
+
+    def order_stop(self) -> None:
+        self.multicast(StopOrder(origin=self.pid))
+
+    def order_start(self) -> None:
+        self.multicast(StartOrder(origin=self.pid))
+
+    def order_speed(self, value: int) -> None:
+        self.multicast(SetSpeed(origin=self.pid, value=value))
+
+    def surge(self) -> None:
+        self.multicast(SetSpeed(origin=self.pid, value=99))
+
+
+@dataclass
+class FigFiveResult:
+    """Outcome of one Figure 5 run."""
+
+    ordering: str
+    final_states: Dict[str, Dict[str, Any]]
+    diverged_attrs: List[str] = field(default_factory=list)
+    #: Parallel to ``diverged_attrs``: the (sorted, deduplicated) type
+    #: names of the messages that last wrote the attribute at the
+    #: disagreeing replicas.  Two names = a non-commuting pair (ORD001
+    #: territory); one name = competing senders of the same blind
+    #: overwrite (ORD002 territory).
+    anomaly_pairs: List[Tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.diverged_attrs)
+
+
+def run_figfive(
+    seed: int = 0,
+    ordering: str = "causal",
+    size: int = 3,
+    latency: float = 5.0,
+    jitter: float = 2.0,
+    rounds: int = 4,
+) -> FigFiveResult:
+    """Execute the Figure 5 scenario.
+
+    Each round, member 0 multicasts Stop at the same instant member 1
+    multicasts Start, and members 0 and 2 race competing speed commands;
+    per-packet jitter (the E07 network profile) decides the delivery
+    order independently at every replica.
+    """
+    sim = Simulator(seed=seed)
+    net = Network(sim, LinkModel(latency=latency, jitter=jitter))
+    pids = [f"cell{i}" for i in range(size)]
+    replicas = [CellReplica(sim, net, pid, pids, ordering=ordering)
+                for pid in pids]
+
+    for r in range(rounds):
+        t = 10.0 + 60.0 * r
+        sim.call_at(t, replicas[0].order_stop)
+        sim.call_at(t, replicas[1].order_start)
+        sim.call_at(t + 1.0, replicas[0].order_speed, r + 1)
+        sim.call_at(t + 1.0, replicas[2].surge)
+    sim.run(until=10_000)
+
+    final_states = {
+        r.pid: {"running": r.running, "speed": r.speed,
+                "last_writer": dict(r.last_writer)}
+        for r in replicas
+    }
+    result = FigFiveResult(ordering=ordering, final_states=final_states)
+    for attr in ("running", "speed"):
+        values = {repr(getattr(r, attr)) for r in replicas}
+        if len(values) > 1:
+            writers = {r.last_writer.get(attr, "?") for r in replicas}
+            result.diverged_attrs.append(attr)
+            result.anomaly_pairs.append(tuple(sorted(writers)))
+    return result

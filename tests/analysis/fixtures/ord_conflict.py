@@ -1,0 +1,84 @@
+"""ORD001 fixture: non-commuting handlers for concurrently deliverable
+message types (the paper's Fig. 5 stop/start pattern).
+
+The ``Fine*`` classes pin precision: the same conflicting writes are
+clean under a total-order spec, and commuting effects (``+=`` merges)
+are clean under causal.
+"""
+
+from repro.catocs.member import GroupMember
+
+
+class StopOrder:
+    pass
+
+
+class StartOrder:
+    pass
+
+
+class StatusPing:
+    pass
+
+
+class FloorController(GroupMember):
+    """Causal delivery can present Stop and Start in either order at
+    different members — and the two overwrites do not commute."""
+
+    def __init__(self, sim, net, pid: str) -> None:
+        super().__init__(sim, net, pid, group="floor", members=[pid],
+                         ordering="causal")
+        self.running = True
+
+    def on_deliver(self, src: str, payload) -> None:  # EXPECT[ORD001]
+        if isinstance(payload, StopOrder):
+            self.running = False
+        elif isinstance(payload, StartOrder):
+            self.running = True
+
+    def announce_stop(self) -> None:
+        self.multicast(StopOrder())
+
+    def announce_start(self) -> None:
+        self.multicast(StartOrder())
+
+
+class FineTotalController(GroupMember):
+    """Same write/write pair, but total order serialises the deliveries."""
+
+    def __init__(self, sim, net, pid: str) -> None:
+        super().__init__(sim, net, pid, group="floor", members=[pid],
+                         ordering="total-seq")
+        self.running = True
+
+    def on_deliver(self, src: str, payload) -> None:
+        if isinstance(payload, StopOrder):
+            self.running = False
+        elif isinstance(payload, StartOrder):
+            self.running = True
+
+    def announce_both(self) -> None:
+        self.multicast(StopOrder())
+        self.multicast(StartOrder())
+
+
+class FineMergeController(GroupMember):
+    """Both handlers touch the same attribute, but with commutative
+    read-modify-writes — order of delivery cannot change the outcome."""
+
+    def __init__(self, sim, net, pid: str) -> None:
+        super().__init__(sim, net, pid, group="floor", members=[pid],
+                         ordering="causal")
+        self.total = 0
+
+    def on_deliver(self, src: str, payload) -> None:
+        if isinstance(payload, StatusPing):
+            self.total += 1
+        elif isinstance(payload, StopOrder):
+            self.total -= 1
+
+    def announce_ping(self) -> None:
+        self.multicast(StatusPing())
+
+    def announce_stop(self) -> None:
+        self.multicast(StopOrder())

@@ -1,0 +1,42 @@
+"""ORD004 fixture: destructive handler effects on a spec without a
+stability layer — state is consumed before the group agrees the
+triggering message is stable (paper Section 3.1).
+
+``FineStableMember`` pins precision: the same destructive ``pop`` is
+clean once ``stability`` is in the stack.
+"""
+
+from repro.catocs.member import GroupMember
+
+
+class Retire:
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+
+class LedgerMember(GroupMember):
+    def __init__(self, sim, net, pid: str) -> None:
+        super().__init__(sim, net, pid, group="ledger", members=[pid],
+                         ordering="dedup|causal")
+        self.entries = {}
+
+    def on_deliver(self, src: str, payload) -> None:
+        if isinstance(payload, Retire):
+            self.entries.pop(payload.key, None)  # EXPECT[ORD004]
+
+    def announce(self) -> None:
+        self.multicast(Retire("k"))
+
+
+class FineStableMember(GroupMember):
+    def __init__(self, sim, net, pid: str) -> None:
+        super().__init__(sim, net, pid, group="ledger", members=[pid],
+                         ordering="dedup|stability|causal")
+        self.entries = {}
+
+    def on_deliver(self, src: str, payload) -> None:
+        if isinstance(payload, Retire):
+            self.entries.pop(payload.key, None)
+
+    def announce(self) -> None:
+        self.multicast(Retire("k"))

@@ -1,0 +1,108 @@
+"""ORD002 fixture: blind last-writer-wins overwrites without a
+serialising delivery order.
+
+Fires for a payload-derived plain assign over unstacked ``Process.send``
+(no order promised at all) and for a multi-sender overwrite under a
+causal spec.  The ``Fine*`` classes pin precision: a semantic guard
+(version check before adopting), a commuting merge, and a single
+FIFO-or-better sender all stay clean.
+"""
+
+from repro.catocs.member import GroupMember
+from repro.sim.process import Process
+
+
+class SlotUpdate:
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+class VersionedUpdate:
+    def __init__(self, version: int, value: int) -> None:
+        self.version = version
+        self.value = value
+
+
+class BannerSet:
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+
+class LeaderClaim:
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class SlotWriter(Process):
+    """Plain jittered datagrams: even one sender's packets can swap."""
+
+    def __init__(self, sim, pid: str) -> None:
+        super().__init__(sim, pid)
+        self.slot = 0
+        self.history = []
+
+    def on_message(self, src: str, payload) -> None:
+        if isinstance(payload, SlotUpdate):
+            self.slot = payload.value  # EXPECT[ORD002]
+        elif isinstance(payload, VersionedUpdate):
+            self.history.append(payload.value)
+
+    def push(self) -> None:
+        self.send("peer", SlotUpdate(3))
+        self.send("peer", VersionedUpdate(1, 3))
+
+
+class FineGuardedWriter(Process):
+    """The netnews idiom: check state before adopting — the application
+    defends the ordering itself, so the write is not blind."""
+
+    def __init__(self, sim, pid: str) -> None:
+        super().__init__(sim, pid)
+        self.version = 0
+        self.slot = 0
+
+    def on_message(self, src: str, payload) -> None:
+        if isinstance(payload, VersionedUpdate):
+            if payload.version <= self.version:
+                return
+            self.version = payload.version
+            self.slot = payload.value
+
+    def push(self) -> None:
+        self.send("peer", VersionedUpdate(2, 7))
+
+
+class FineSingleSourceMember(GroupMember):
+    """One sender under causal (FIFO per sender) is serialised."""
+
+    def __init__(self, sim, net, pid: str) -> None:
+        super().__init__(sim, net, pid, group="g", members=[pid],
+                         ordering="causal")
+        self.banner = ""
+
+    def on_deliver(self, src: str, payload) -> None:
+        if isinstance(payload, BannerSet):
+            self.banner = payload.text
+
+    def announce(self) -> None:
+        self.multicast(BannerSet("open"))
+
+
+class RosterMember(GroupMember):
+    """Two independent claimants under causal order: concurrent claims
+    reach members in different orders, and the last writer wins."""
+
+    def __init__(self, sim, net, pid: str) -> None:
+        super().__init__(sim, net, pid, group="g", members=[pid],
+                         ordering="causal")
+        self.leader = ""
+
+    def on_deliver(self, src: str, payload) -> None:
+        if isinstance(payload, LeaderClaim):
+            self.leader = payload.name  # EXPECT[ORD002]
+
+    def claim(self) -> None:
+        self.multicast(LeaderClaim("a"))
+
+    def reclaim(self) -> None:
+        self.multicast(LeaderClaim("b"))

@@ -24,4 +24,4 @@ class Stamper(Process):
         self.send(dst, note)
 
     def _on_note(self, src: str, note) -> None:
-        self.last_seq = note.seq
+        self.last_seq = max(self.last_seq, note.seq)

@@ -62,6 +62,74 @@ def test_wrong_schema_rejected(tmp_path):
         baseline.load(path)
 
 
+def test_update_refreshes_and_counts_removals(tmp_path):
+    """--update-baseline prunes entries whose rule ran and found nothing."""
+    root = tmp_path / "repo"
+    (root / "src/repro").mkdir(parents=True)
+    (root / "src/repro/x.py").write_text("t = 1\n")
+    path = tmp_path / "base.json"
+    baseline.save([_finding(), _finding(rule="DET003", line=20,
+                                        context="for k in set(keys):")],
+                  path)
+    # DET003 ran again and found nothing (fixed); DET001 still fires.
+    removed = baseline.update(
+        [_finding()], path, root=root,
+        ran_rules={"DET001", "DET003"},
+        known_rules={"DET001", "DET003"},
+    )
+    assert removed == 1
+    assert set(baseline.load(path)) == {_finding().fingerprint}
+
+
+def test_update_prunes_unknown_rules_and_missing_files(tmp_path):
+    root = tmp_path / "repo"
+    (root / "src/repro").mkdir(parents=True)
+    (root / "src/repro/x.py").write_text("t = 1\n")
+    path = tmp_path / "base.json"
+    baseline.save(
+        [
+            _finding(rule="GONE999"),  # rule id no longer exists
+            _finding(path="src/repro/deleted.py"),  # file no longer exists
+        ],
+        path,
+    )
+    removed = baseline.update(
+        [], path, root=root,
+        ran_rules=set(), known_rules={"DET001"},
+    )
+    assert removed == 2
+    assert baseline.load(path) == {}
+
+
+def test_update_keeps_entries_for_filtered_out_rules(tmp_path):
+    """``--rules FLOW001 --update-baseline`` must not wipe DET entries."""
+    root = tmp_path / "repo"
+    (root / "src/repro").mkdir(parents=True)
+    (root / "src/repro/x.py").write_text("t = 1\n")
+    path = tmp_path / "base.json"
+    kept = _finding()  # DET001 entry, but only FLOW001 runs below
+    baseline.save([kept], path)
+    removed = baseline.update(
+        [], path, root=root,
+        ran_rules={"FLOW001"},
+        known_rules={"DET001", "FLOW001"},
+    )
+    assert removed == 0
+    assert set(baseline.load(path)) == {kept.fingerprint}
+
+
+def test_update_creates_file_when_absent(tmp_path):
+    root = tmp_path / "repo"
+    root.mkdir()
+    path = tmp_path / "fresh.json"
+    removed = baseline.update(
+        [_finding()], path, root=root,
+        ran_rules={"DET001"}, known_rules={"DET001"},
+    )
+    assert removed == 0
+    assert set(baseline.load(path)) == {_finding().fingerprint}
+
+
 def test_saved_file_is_sorted_and_diffable(tmp_path):
     findings = [
         _finding(path="src/repro/zzz.py"),

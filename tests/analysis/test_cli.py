@@ -67,6 +67,33 @@ def test_update_baseline_then_pass(tmp_path):
     assert "baselined" in gated.stdout
 
 
+def test_update_baseline_reports_pruned_entries(tmp_path):
+    base = tmp_path / "fixture-baseline.json"
+    wrote = run_cli(FIXTURES / "det_wallclock.py",
+                    "--update-baseline", "--baseline", base)
+    assert wrote.returncode == 0
+    stale = json.loads(base.read_text())["findings"]
+    assert stale
+
+    # Re-baseline against a different file: every old entry's rule ran
+    # and found nothing there, so all of them are pruned (and counted).
+    pruned = run_cli(FIXTURES / "flow_dead_orphan.py",
+                     "--update-baseline", "--baseline", base)
+    assert pruned.returncode == 0
+    assert f"{len(stale)} stale entr" in pruned.stdout
+    assert "removed" in pruned.stdout
+    remaining = {e["path"] for e in json.loads(base.read_text())["findings"]}
+    assert not any(path.endswith("det_wallclock.py") for path in remaining)
+
+
+def test_update_baseline_reports_zero_removed_when_fresh(tmp_path):
+    base = tmp_path / "fresh-baseline.json"
+    proc = run_cli(FIXTURES / "det_wallclock.py",
+                   "--update-baseline", "--baseline", base)
+    assert proc.returncode == 0
+    assert "0 stale entries removed" in proc.stdout
+
+
 def test_missing_explicit_baseline_is_usage_error(tmp_path):
     proc = run_cli(FIXTURES / "det_wallclock.py",
                    "--baseline", tmp_path / "absent.json")
@@ -121,6 +148,39 @@ def test_sarif_format_schema():
     assert location["artifactLocation"]["uri"].endswith("det_wallclock.py")
 
 
+def test_exclude_unknown_rule_id_is_usage_error():
+    proc = run_cli("--exclude-rules", "DET001,NOPE42")
+    assert proc.returncode == 2
+    assert "unknown rule id" in proc.stderr
+
+
+def _sarif_fingerprints(proc):
+    payload = json.loads(proc.stdout)
+    results = payload["runs"][0]["results"]
+    keyed = {r["partialFingerprints"]["reproAnalysis/v1"] for r in results}
+    context = {r["partialFingerprints"]["reproAnalysisContext/v1"]
+               for r in results}
+    return keyed, context
+
+
+def test_sarif_context_fingerprint_survives_rename(tmp_path):
+    """Code scanning keys alert identity on partialFingerprints; the
+    context component must not change when a file is merely renamed."""
+    source = (FIXTURES / "det_wallclock.py").read_text()
+    before = tmp_path / "clock_module.py"
+    after = tmp_path / "clock_module_renamed.py"
+    before.write_text(source)
+    after.write_text(source)
+
+    keyed_a, context_a = _sarif_fingerprints(
+        run_cli(before, "--format", "sarif"))
+    keyed_b, context_b = _sarif_fingerprints(
+        run_cli(after, "--format", "sarif"))
+    assert context_a and context_a == context_b
+    # The full fingerprint still embeds the path (baseline identity).
+    assert keyed_a != keyed_b
+
+
 def test_graph_json_subcommand():
     proc = run_cli("graph", "--format", "json")
     assert proc.returncode == 0, proc.stdout + proc.stderr
@@ -130,6 +190,29 @@ def test_graph_json_subcommand():
     assert "DataMessage" in names
     assert not any(entry["dead"] for entry in payload["messages"])
     assert not any(entry["orphan"] for entry in payload["messages"])
+
+
+def test_effects_json_subcommand():
+    proc = run_cli("effects", "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["schema"] == "repro.analysis/effects-v1"
+    assert payload["handlers"], "no handler effect rows in repo scan"
+    guarantees = payload["guarantees"]
+    assert guarantees["causal"]["order"] == "causal"
+    assert guarantees["total-seq"]["order"] == "total"
+    assert guarantees["raw"]["order"] == "none"
+    # The Figure 5 app's planted conflict must appear in the export.
+    assert any(c["process"].endswith("CellReplica")
+               for c in payload["conflicts"])
+
+
+def test_effects_out_writes_artifact(tmp_path):
+    artifact = tmp_path / "effects.json"
+    proc = run_cli("effects", "--format", "json", "--out", artifact)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert json.loads(artifact.read_text())["schema"] == \
+        "repro.analysis/effects-v1"
 
 
 def test_graph_dot_subcommand_writes_artifact(tmp_path):

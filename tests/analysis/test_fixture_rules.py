@@ -19,6 +19,7 @@ FIXTURE_FILES = (
     + sorted(p.name for p in FIXTURES.glob("race_*.py"))
     + sorted(p.name for p in FIXTURES.glob("flow_*.py"))
     + sorted(p.name for p in FIXTURES.glob("proto_*.py"))
+    + sorted(p.name for p in FIXTURES.glob("ord_*.py"))
 )
 
 
@@ -57,7 +58,8 @@ def test_fixture_corpus_actually_plants_violations():
     assert {"DET001", "DET002", "DET003", "DET004", "DET005",
             "PROTO002", "PROTO005",
             "RACE001", "RACE002", "RACE003", "RACE004", "RACE005",
-            "FLOW001", "FLOW002", "FLOW003", "FLOW004"} <= rules
+            "FLOW001", "FLOW002", "FLOW003", "FLOW004",
+            "ORD001", "ORD002", "ORD003", "ORD004"} <= rules
 
 
 def test_fixture_directory_is_excluded_from_repo_scan():
