@@ -1,0 +1,386 @@
+"""The incremental-analysis cache: ``repro.analysis/cache-v1``.
+
+The engine fingerprints every source file (sha256 of its text) and every
+rule (sha256 of the rule's defining module, folded with a hash of the
+shared analysis core).  A ``(file, rule)`` pair whose fingerprints both
+match the cache replays its recorded findings without re-parsing the file;
+editing a rule module invalidates only that rule's entries, editing a file
+invalidates only that file's entries, and editing the analysis core (the
+finding/suppression/AST plumbing every rule sits on) invalidates
+everything.
+
+The cross-file passes cannot be cached per file, so they get a single
+*project entry* keyed over every input they can observe: all file shas,
+doc shas, the cross rules' ids and versions, the graph-infrastructure
+module shas, and the ``include_docs`` flag.  Any drift recomputes the
+whole pass.
+
+The cache is a convenience, never a source of truth: a missing, corrupt,
+truncated, or schema-mismatched file silently degrades to a full rerun
+(and is rewritten on save).  Writes are atomic (tmp + ``os.replace``) so
+an interrupted run cannot leave a half-written cache behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.finding import Finding, Severity
+
+CACHE_SCHEMA = "repro.analysis/cache-v1"
+STATS_SCHEMA = "repro.analysis/cache-stats-v1"
+DEFAULT_CACHE_NAME = ".repro-analysis-cache.json"
+
+#: The shared plumbing every rule's verdict depends on.  A change to any of
+#: these invalidates the whole cache via the core hash folded into every
+#: rule version and the project key.
+_CORE_MODULES = (
+    "astutil.py",
+    "engine.py",
+    "finding.py",
+    "source.py",
+    "suppress.py",
+    os.path.join("rules", "__init__.py"),
+)
+
+#: Cross-pass infrastructure the project rules call into; hashed into the
+#: project key (their rule modules alone do not cover these).
+_PROJECT_INFRA_MODULES = (
+    "callgraph.py",
+    "effects.py",
+    "flowgraph.py",
+    "orders.py",
+)
+
+
+def text_sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _package_file_sha(name: str) -> str:
+    path = Path(__file__).resolve().parent / name
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return "missing"
+
+
+_core_hash_memo: Optional[str] = None
+
+
+def core_hash() -> str:
+    """One hash over the analysis core; folded into every fingerprint."""
+    global _core_hash_memo
+    if _core_hash_memo is None:
+        h = hashlib.sha256()
+        for name in _CORE_MODULES:
+            h.update(name.encode())
+            h.update(_package_file_sha(name).encode())
+        _core_hash_memo = h.hexdigest()
+    return _core_hash_memo
+
+
+_rule_version_memo: Dict[str, str] = {}
+
+
+def rule_version(rule: Any) -> str:
+    """Fingerprint of ``rule``'s implementation.
+
+    sha256 of the rule class's defining module file, folded with the core
+    hash.  Editing one rule family's module invalidates exactly that
+    family's cache entries; every other entry replays.
+    """
+    module_name = type(rule).__module__
+    cached = _rule_version_memo.get(module_name)
+    if cached is None:
+        import importlib
+
+        try:
+            module = importlib.import_module(module_name)
+            source = Path(module.__file__ or "").read_bytes()
+            mod_sha = hashlib.sha256(source).hexdigest()
+        except (ImportError, OSError, TypeError):
+            mod_sha = "unknown"
+        h = hashlib.sha256()
+        h.update(mod_sha.encode())
+        h.update(core_hash().encode())
+        cached = h.hexdigest()
+        _rule_version_memo[module_name] = cached
+    return cached
+
+
+def project_key(
+    file_shas: Dict[str, str],
+    doc_shas: Dict[str, str],
+    cross_rules: List[Any],
+    include_docs: bool,
+) -> str:
+    """Key guarding the cached cross-file pass: every observable input."""
+    h = hashlib.sha256()
+    h.update(core_hash().encode())
+    h.update(b"docs:1" if include_docs else b"docs:0")
+    for name in _PROJECT_INFRA_MODULES:
+        h.update(name.encode())
+        h.update(_package_file_sha(name).encode())
+    for relpath in sorted(file_shas):
+        h.update(relpath.encode())
+        h.update(file_shas[relpath].encode())
+    for relpath in sorted(doc_shas):
+        h.update(relpath.encode())
+        h.update(doc_shas[relpath].encode())
+    for rule in sorted(cross_rules, key=lambda r: r.rule_id):
+        h.update(rule.rule_id.encode())
+        h.update(rule_version(rule).encode())
+    return h.hexdigest()
+
+
+# -- finding (de)serialisation --------------------------------------------------
+
+
+def finding_to_cache(finding: Finding) -> Dict[str, Any]:
+    """Full round-trip payload (unlike ``to_json``, which is for reports)."""
+    payload: Dict[str, Any] = {
+        "rule": finding.rule_id,
+        "severity": finding.severity.value,
+        "path": finding.path,
+        "line": finding.line,
+        "message": finding.message,
+    }
+    if finding.hint:
+        payload["hint"] = finding.hint
+    if finding.context:
+        payload["context"] = finding.context
+    if finding.col:
+        payload["col"] = finding.col
+    if finding.extra:
+        payload["extra"] = [[k, v] for k, v in finding.extra]
+    return payload
+
+
+def finding_from_cache(payload: Dict[str, Any]) -> Finding:
+    return Finding(
+        rule_id=payload["rule"],
+        severity=Severity(payload["severity"]),
+        path=payload["path"],
+        line=int(payload["line"]),
+        message=payload["message"],
+        hint=payload.get("hint", ""),
+        context=payload.get("context", ""),
+        col=int(payload.get("col", 0)),
+        extra=tuple((k, v) for k, v in payload.get("extra", [])),
+    )
+
+
+# -- the cache object -----------------------------------------------------------
+
+
+@dataclass
+class RuleEntry:
+    """Findings one rule produced for one file, post-dedup/suppression."""
+
+    version: str
+    findings: List[Finding]
+    suppressed: int
+
+
+@dataclass
+class FileEntry:
+    """Everything cached about one source file."""
+
+    sha: str
+    bucket: str  # "src" | "tests"
+    parse_error: Optional[str] = None
+    rules: Dict[str, RuleEntry] = field(default_factory=dict)
+
+
+@dataclass
+class ProjectEntry:
+    """The cached cross-file pass."""
+
+    key: str
+    findings: List[Finding]
+    suppressed: int
+
+
+@dataclass
+class CacheStats:
+    """What one run replayed vs recomputed (``cache-stats-v1``).
+
+    ``parses`` counts actual ``ast.parse`` calls, parent and workers
+    combined — the number CI asserts is zero on a warm run.
+    """
+
+    enabled: bool = True
+    jobs: int = 1
+    files_total: int = 0
+    files_replayed: int = 0
+    files_analyzed: int = 0
+    parses: int = 0
+    rules_replayed: int = 0
+    rules_analyzed: int = 0
+    project_replayed: bool = False
+    project_analyzed: bool = False
+    wall_s: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": STATS_SCHEMA,
+            "enabled": self.enabled,
+            "jobs": self.jobs,
+            "files": {
+                "total": self.files_total,
+                "replayed": self.files_replayed,
+                "analyzed": self.files_analyzed,
+            },
+            "rules": {
+                "replayed": self.rules_replayed,
+                "analyzed": self.rules_analyzed,
+            },
+            "parses": self.parses,
+            "project": {
+                "replayed": self.project_replayed,
+                "analyzed": self.project_analyzed,
+            },
+            "wall_s": round(self.wall_s, 4),
+        }
+
+
+@dataclass
+class AnalysisCache:
+    """In-memory form of ``.repro-analysis-cache.json``."""
+
+    files: Dict[str, FileEntry] = field(default_factory=dict)
+    project: Optional[ProjectEntry] = None
+
+    # -- queries ----------------------------------------------------------------
+
+    def file_entry(self, relpath: str, sha: str) -> Optional[FileEntry]:
+        """The entry for ``relpath`` iff its content fingerprint matches."""
+        entry = self.files.get(relpath)
+        if entry is not None and entry.sha == sha:
+            return entry
+        return None
+
+    def rule_hit(
+        self, entry: Optional[FileEntry], rule: Any
+    ) -> Optional[RuleEntry]:
+        """The per-rule entry iff the rule's fingerprint also matches."""
+        if entry is None:
+            return None
+        hit = entry.rules.get(rule.rule_id)
+        if hit is not None and hit.version == rule_version(rule):
+            return hit
+        return None
+
+    def project_hit(self, key: str) -> Optional[ProjectEntry]:
+        if self.project is not None and self.project.key == key:
+            return self.project
+        return None
+
+    # -- updates ----------------------------------------------------------------
+
+    def put_file(self, relpath: str, sha: str, bucket: str,
+                 parse_error: Optional[str]) -> FileEntry:
+        """Start (or refresh) the entry for a just-analysed file.
+
+        A changed sha drops every stale per-rule entry; a matching sha
+        keeps entries for rules this run did not execute (e.g. a
+        ``--rules`` subset run must not discard the other families).
+        """
+        entry = self.files.get(relpath)
+        if entry is None or entry.sha != sha:
+            entry = FileEntry(sha=sha, bucket=bucket, parse_error=parse_error)
+            self.files[relpath] = entry
+        else:
+            entry.bucket = bucket
+            entry.parse_error = parse_error
+        return entry
+
+    def prune(self, live_relpaths: "set[str]") -> None:
+        """Drop entries for files that no longer exist in the tree."""
+        for relpath in list(self.files):
+            if relpath not in live_relpaths:
+                del self.files[relpath]
+
+    # -- persistence ------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "AnalysisCache":
+        """Read a cache file; any defect degrades to an empty cache."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls()
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            return cls()
+        cache = cls()
+        try:
+            for relpath, raw in payload.get("files", {}).items():
+                entry = FileEntry(
+                    sha=raw["sha"],
+                    bucket=raw.get("bucket", "src"),
+                    parse_error=raw.get("parse_error"),
+                )
+                for rule_id, rec in raw.get("rules", {}).items():
+                    entry.rules[rule_id] = RuleEntry(
+                        version=rec["v"],
+                        findings=[
+                            finding_from_cache(f) for f in rec.get("findings", [])
+                        ],
+                        suppressed=int(rec.get("suppressed", 0)),
+                    )
+                cache.files[relpath] = entry
+            proj = payload.get("project")
+            if isinstance(proj, dict):
+                cache.project = ProjectEntry(
+                    key=proj["key"],
+                    findings=[
+                        finding_from_cache(f) for f in proj.get("findings", [])
+                    ],
+                    suppressed=int(proj.get("suppressed", 0)),
+                )
+        except (KeyError, TypeError, ValueError):
+            return cls()  # structurally corrupt: full rerun
+        return cache
+
+    def save(self, path: Path) -> None:
+        payload: Dict[str, Any] = {"schema": CACHE_SCHEMA, "files": {}}
+        for relpath in sorted(self.files):
+            entry = self.files[relpath]
+            raw: Dict[str, Any] = {"sha": entry.sha, "bucket": entry.bucket}
+            if entry.parse_error is not None:
+                raw["parse_error"] = entry.parse_error
+            raw["rules"] = {
+                rule_id: {
+                    "v": rec.version,
+                    "findings": [finding_to_cache(f) for f in rec.findings],
+                    "suppressed": rec.suppressed,
+                }
+                for rule_id, rec in sorted(entry.rules.items())
+            }
+            payload["files"][relpath] = raw
+        if self.project is not None:
+            payload["project"] = {
+                "key": self.project.key,
+                "findings": [
+                    finding_to_cache(f) for f in self.project.findings
+                ],
+                "suppressed": self.project.suppressed,
+            }
+        text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+
+def reset_version_memos() -> None:
+    """Test hook: forget memoized core/rule hashes (e.g. after monkeypatching
+    module files on disk)."""
+    global _core_hash_memo
+    _core_hash_memo = None
+    _rule_version_memo.clear()

@@ -43,6 +43,7 @@ class Finding:
     message: str
     hint: str = ""
     context: str = ""
+    col: int = 0  # 1-based column; 0 when the rule reports whole lines
     extra: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
 
     @property
@@ -51,8 +52,14 @@ class Finding:
         return (self.rule_id, self.path, self.context)
 
     @property
-    def sort_key(self) -> Tuple[str, int, str, str]:
-        return (self.path, self.line, self.rule_id, self.message)
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """The one canonical order: ``(path, line, col, rule, message)``.
+
+        Every renderer sorts by exactly this key (``report.py`` enforces
+        it), so text/JSON/SARIF output is byte-identical no matter which
+        mix of cache replay and parallel workers produced the findings.
+        """
+        return (self.path, self.line, self.col, self.rule_id, self.message)
 
     def render(self) -> str:
         location = f"{self.path}:{self.line}" if self.line else self.path
@@ -73,6 +80,8 @@ class Finding:
             payload["hint"] = self.hint
         if self.context:
             payload["context"] = self.context
+        if self.col:
+            payload["col"] = self.col
         if self.extra:
             payload["extra"] = dict(self.extra)
         return payload
@@ -86,6 +95,7 @@ def make_finding(
     message: str,
     hint: str = "",
     source_line: Optional[str] = None,
+    col: int = 0,
 ) -> Finding:
     return Finding(
         rule_id=rule_id,
@@ -95,4 +105,5 @@ def make_finding(
         message=message,
         hint=hint,
         context=(source_line or "").strip(),
+        col=col,
     )

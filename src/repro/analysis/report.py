@@ -10,11 +10,25 @@ from repro.analysis.finding import Finding
 SCHEMA = "repro.analysis/v1"
 
 
+def canonical_order(findings: List[Finding]) -> List[Finding]:
+    """The single sort every renderer goes through: ``Finding.sort_key``,
+    i.e. ``(path, line, col, rule, message)``.
+
+    Findings now arrive from three producers — in-process rule runs,
+    worker-pool shards, and cache replay — in whatever order those
+    complete.  Sorting here (idempotently; the engine pre-sorts too) is
+    what guarantees text/JSON/SARIF bytes, SARIF ``partialFingerprints``
+    order, and baseline diffs never churn with ``--jobs`` or cache state.
+    """
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
 def render_text(
     fresh: List[Finding],
     grandfathered: List[Finding],
     suppressed: int,
 ) -> str:
+    fresh = canonical_order(fresh)
     lines: List[str] = []
     for finding in fresh:
         lines.append(finding.render())
@@ -37,8 +51,8 @@ def render_json(
 ) -> str:
     payload: Dict[str, Any] = {
         "schema": SCHEMA,
-        "findings": [f.to_json() for f in fresh],
-        "baselined": [f.to_json() for f in grandfathered],
+        "findings": [f.to_json() for f in canonical_order(fresh)],
+        "baselined": [f.to_json() for f in canonical_order(grandfathered)],
         "summary": {
             **_severity_counts(fresh),
             "total": len(fresh),
@@ -119,8 +133,8 @@ def render_sarif(
                         ],
                     }
                 },
-                "results": [result(f, False) for f in fresh]
-                + [result(f, True) for f in grandfathered],
+                "results": [result(f, False) for f in canonical_order(fresh)]
+                + [result(f, True) for f in canonical_order(grandfathered)],
                 "properties": {"suppressedInline": suppressed},
             }
         ],

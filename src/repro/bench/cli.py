@@ -47,8 +47,11 @@ def _measure(args: argparse.Namespace) -> Dict[str, Any]:
             k: round(v, 1)
             for k, v in workloads.clock_stamp_ns(repeats=repeats).items()
         },
-        "analysis_runtime_s": round(
-            workloads.analysis_runtime_s(repeats=min(repeats, 2)), 3),
+        "analysis": {
+            k: round(v, 3)
+            for k, v in workloads.analysis_cold_warm_s(
+                repeats=min(repeats, 2)).items()
+        },
     }
     if not args.skip_suite:
         metrics["suite"] = workloads.suite_wall_clock(args.jobs)

@@ -77,6 +77,11 @@ class ProtocolLayer:
     #: "transport" for pipeline layers, "ordering" for the top discipline.
     kind = "transport"
 
+    # Slotted: member/stack are touched on every hop of the data path.
+    # Subclasses outside this module stay unslotted (they get a __dict__
+    # for their own layer state) without losing slot access to these two.
+    __slots__ = ("member", "stack")
+
     def __init__(self, member: "GroupMember") -> None:
         self.member = member
         self.stack: Optional["ProtocolStack"] = None
@@ -125,6 +130,8 @@ class ProtocolStack:
     and resolves the group's clock domain before any transport layer arms
     its timers — exactly what the monolithic member constructor did.
     """
+
+    __slots__ = ("member", "spec", "layers", "_by_name")
 
     def __init__(self, member: "GroupMember", names: Sequence[str]) -> None:
         names = tuple(names)
@@ -250,6 +257,15 @@ class BatchLayer(ProtocolLayer):
 
     name = "batch"
     kind = "transport"
+
+    __slots__ = (
+        "_queues",
+        "_flush_armed",
+        "batches_sent",
+        "singles_sent",
+        "payloads_coalesced",
+        "peak_batch",
+    )
 
     def __init__(self, member: "GroupMember") -> None:
         super().__init__(member)

@@ -29,7 +29,7 @@ import argparse
 import asyncio
 import json
 import sys
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.apps.feeds import FEEDS, make_feed
@@ -145,7 +145,8 @@ class StackHost:
             "delivery_order": [label for _, label in self.delivery_log],
             "elapsed_s": round(elapsed, 4),
             "runtime_msgs_per_sec": round(len(self.delivery_log) / elapsed, 2),
-            "net": vars(self.net.stats).copy(),
+            # asdict, not vars(): NetworkStats is slotted and has no __dict__.
+            "net": asdict(self.net.stats),
             "decode_errors": net.decode_errors,
         }
 

@@ -53,6 +53,27 @@ class _MemberProtocol(asyncio.DatagramProtocol):
 class UdpNetwork:
     """Transport backend over per-process loopback UDP sockets."""
 
+    __slots__ = (
+        "sim",
+        "clock",
+        "host",
+        "default_link",
+        "stats",
+        "decode_errors",
+        "oversize_dropped",
+        "socket_errors",
+        "_processes",
+        "_links",
+        "_partition_of",
+        "_packet_ids",
+        "drop_hooks",
+        "_requested_ports",
+        "_transports",
+        "_addrs",
+        "_started",
+        "_pre_start",
+    )
+
     def __init__(self, clock: AsyncioClock, default_link: Optional[LinkModel] = None,
                  host: str = "127.0.0.1") -> None:
         self.sim = clock  # processes reach the clock through .sim on attach

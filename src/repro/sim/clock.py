@@ -20,6 +20,8 @@ from repro.sim.kernel import Simulator
 class LocalClock:
     """A node-local clock: ``read() = true_time * (1 + drift) + offset``."""
 
+    __slots__ = ("sim", "offset", "drift", "_anchor_true", "_anchor_local")
+
     def __init__(self, sim: Simulator, offset: float = 0.0, drift: float = 0.0) -> None:
         self.sim = sim
         self.offset = offset
@@ -58,6 +60,16 @@ class ClockSyncService:
     path" cost claim of Section 4.6 can be compared against CATOCS per-message
     overhead.
     """
+
+    __slots__ = (
+        "sim",
+        "clocks",
+        "period",
+        "residual",
+        "rounds",
+        "sync_messages",
+        "_running",
+    )
 
     def __init__(
         self,

@@ -17,6 +17,8 @@ from repro.sim.network import Network
 class FailureInjector:
     """Schedules process crashes/recoveries and network partitions."""
 
+    __slots__ = ("sim", "network", "log")
+
     def __init__(self, sim: Simulator, network: Network) -> None:
         self.sim = sim
         self.network = network

@@ -113,7 +113,7 @@ class Packet:
     link_epoch: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate traffic counters, used by every cost experiment."""
 
@@ -140,13 +140,17 @@ class NetworkStats:
         }
 
 
-class Network:
+class Network:  # repro: ignore[PERF001] -- tests monkeypatch send() per instance
     """Connects named processes and transports payloads between them.
 
     Processes register via :meth:`attach`; :meth:`send` schedules delivery
     through the destination's ``_receive_packet`` after the sampled latency,
     unless the packet is dropped, the destination is crashed at delivery
     time, or a partition separates the endpoints.
+
+    Deliberately unslotted: the loss/sniffing tests replace ``send`` on
+    individual instances (``net.send = wrapper``), which needs a per-instance
+    ``__dict__``.
     """
 
     def __init__(self, sim: Simulator, default_link: Optional[LinkModel] = None) -> None:

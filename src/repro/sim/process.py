@@ -24,6 +24,21 @@ from repro.sim.network import Network, Packet
 class Process:
     """Base class for all simulated participants."""
 
+    # Slotted for dispatch speed: every delivery touches sim/network/alive
+    # and the handler caches.  Subclasses are free to skip __slots__ — they
+    # then grow a __dict__ for their own state while the base attributes
+    # here keep slot-speed access on the per-packet path.
+    __slots__ = (
+        "sim",
+        "network",
+        "pid",
+        "alive",
+        "crash_count",
+        "_timers",
+        "_handlers",
+        "_dispatch_cache",
+    )
+
     def __init__(self, sim: Simulator, network: Network, pid: str) -> None:
         self.sim = sim
         self.network = network

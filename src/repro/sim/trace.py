@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEntry:
     """One recorded event."""
 
@@ -31,6 +31,8 @@ class TraceEntry:
 
 class EventTrace:
     """An append-only log of process events, indexed by pid and kind."""
+
+    __slots__ = ("entries", "_by_pid", "_by_kind")
 
     def __init__(self) -> None:
         self.entries: List[TraceEntry] = []

@@ -423,19 +423,25 @@ class TimingWheel:
         mask = self._mask
         buckets = self._buckets
         heads = self._heads
+        # _migrate() pops the overflow heap in place and _btombs is only
+        # ever written through subscripts, so both aliases stay current
+        # across the loop (rebinding happens only in _compact_overflow,
+        # which cancel() calls — never this scan).
+        overflow = self._overflow
+        btombs = self._btombs
         while True:
             if self._wheel_count == 0:
-                if not self._overflow:
+                if not overflow:
                     return None
                 # Ring drained: jump the cursor to the overflow head's tick
                 # and pull everything newly inside the horizon onto the ring.
-                self._cursor = self._overflow[0].tick
+                self._cursor = overflow[0].tick
                 self._migrate()
                 continue
             c = self._cursor
             hint = self._min_tick
-            if self._overflow:
-                first = self._overflow[0].tick
+            if overflow:
+                first = overflow[0].tick
                 if first < hint:
                     hint = first
                 if hint > c:
@@ -455,8 +461,8 @@ class TimingWheel:
                     self._wheel_count -= 1
                     self.tombstones -= 1
                     self.shed += 1
-                    if self._btombs[idx] > 0:
-                        self._btombs[idx] -= 1
+                    if btombs[idx] > 0:
+                        btombs[idx] -= 1
                     continue
                 if event.tick != c:
                     break  # a later lap of the ring; nothing left at tick c
@@ -468,13 +474,13 @@ class TimingWheel:
                     if head == n:
                         bucket.clear()
                         head = 0
-                        self._btombs[idx] = 0
+                        btombs[idx] = 0
                 heads[idx] = head
                 return event
             if head == n and n:
                 bucket.clear()
                 head = 0
-                self._btombs[idx] = 0
+                btombs[idx] = 0
             heads[idx] = head
             # Tick c is exhausted; every remaining ring entry is at a later
             # tick, so the jump hint can advance with the cursor.

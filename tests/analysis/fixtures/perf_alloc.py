@@ -1,0 +1,56 @@
+"""Fixture: fresh allocations inside hot loop bodies (PERF002)."""
+# repro: hot-module
+
+
+def hot_drain(items):  # repro: hot
+    out = 0
+    for item in items:
+        box = [item, item]  # EXPECT[PERF002]
+        out += len(box)
+    return out
+
+
+def hot_labels(items):  # repro: hot
+    total = 0
+    for item in items:
+        label = f"item-{item}"  # EXPECT[PERF002]
+        total += len(label)
+    return total
+
+
+def hot_pairs(items):  # repro: hot
+    acc = []
+    for item in items:
+        acc.append({"key": item})  # EXPECT[PERF002]
+    return acc
+
+
+def hot_filters(rows):  # repro: hot
+    count = 0
+    for row in rows:
+        picked = [cell for cell in row if cell]  # EXPECT[PERF002]
+        count += len(picked)
+    return count
+
+
+def hot_callbacks(items):  # repro: hot
+    registry = {}
+    for item in items:
+        registry[item] = lambda: item  # EXPECT[PERF002]
+    return registry
+
+
+def hot_fine_reuse(items):  # repro: hot
+    buffer = []
+    for item in items:
+        buffer.append(item)
+        if item is None:
+            raise ValueError(f"bad item at {len(buffer)}")
+    return buffer
+
+
+def cold_loop(items):
+    formatted = []
+    for item in items:
+        formatted.append(f"cold-{item}")
+    return formatted

@@ -1,0 +1,47 @@
+"""Fixture: attribute chains re-resolved inside hot loops (PERF003)."""
+# repro: hot-module
+
+
+def hot_totals(net):  # repro: hot
+    total = 0
+    for _ in range(64):
+        total += net.stats.delivered  # EXPECT[PERF003]
+        total += net.stats.delivered
+        total += net.stats.delivered
+    return total
+
+
+def hot_chatter(stack):  # repro: hot
+    sent = 0
+    while stack.layer.queue.pending:
+        stack.layer.queue.pop()
+        sent += stack.layer.queue.pending  # EXPECT[PERF003]
+        if stack.layer.queue.pending > 100:
+            break
+    return sent
+
+
+def hot_fine_two_reads(net):  # repro: hot
+    total = 0
+    for _ in range(64):
+        total += net.stats.delivered
+        total += net.stats.dropped
+    return total
+
+
+def hot_fine_written(box):  # repro: hot
+    for i in range(16):
+        if box.peak < i:
+            box.peak = i
+        elif box.peak > 100:
+            box.peak = 100
+    return box.peak
+
+
+def cold_totals(net):
+    total = 0
+    for _ in range(64):
+        total += net.stats.delivered
+        total += net.stats.delivered
+        total += net.stats.delivered
+    return total

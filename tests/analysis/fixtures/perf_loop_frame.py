@@ -1,0 +1,54 @@
+"""Fixture: exception frames and isinstance ladders in hot loops (PERF004)."""
+# repro: hot-module
+
+
+def hot_guarded(items):  # repro: hot
+    total = 0
+    for item in items:
+        try:  # EXPECT[PERF004]
+            total += item.size
+        except AttributeError:
+            total += 1
+    return total
+
+
+def hot_dispatch(payloads):  # repro: hot
+    handled = 0
+    for payload in payloads:
+        if isinstance(payload, int):  # EXPECT[PERF004]
+            handled += payload
+        elif isinstance(payload, str):
+            handled += len(payload)
+        elif isinstance(payload, bytes):
+            handled += 2
+    return handled
+
+
+def hot_fine_single_check(payloads):  # repro: hot
+    narrow = 0
+    for payload in payloads:
+        if isinstance(payload, int):
+            narrow += payload
+    return narrow
+
+
+def hot_fine_setup_try(path, items):  # repro: hot
+    try:
+        handle = open(path)
+    except OSError:
+        return 0
+    count = 0
+    for item in items:
+        count += item
+    handle.close()
+    return count
+
+
+def cold_parse(rows):
+    out = []
+    for row in rows:
+        try:
+            out.append(int(row))
+        except ValueError:
+            pass
+    return out

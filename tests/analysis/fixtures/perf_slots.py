@@ -1,0 +1,59 @@
+"""Fixture: hot-path classes without ``__slots__`` (PERF001).
+
+The ``# repro: hot-module`` marker opts this file into the PERF regime
+(fixtures have no dotted module name, so the prefix scoping cannot apply).
+"""
+# repro: hot-module
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Protocol
+
+
+class BareCounter:  # EXPECT[PERF001]
+    def __init__(self):
+        self.count = 0
+
+
+class DerivedCounter(BareCounter):
+    """Clean: the local dict-backed base carries the finding; flagging the
+    subclass too would just cascade."""
+
+    def __init__(self):
+        super().__init__()
+        self.extra = 0
+
+
+class FineSlotted:
+    __slots__ = ("count",)
+
+    def __init__(self):
+        self.count = 0
+
+
+class LeakyChild(FineSlotted):  # EXPECT[PERF001]
+    """A subclass of a slotted base silently regrows the __dict__."""
+
+    def __init__(self):
+        super().__init__()
+        self.more = 0
+
+
+@dataclass(slots=True)
+class FineRecord:
+    value: int = 0
+
+
+class FineFailure(ValueError):
+    """Clean: exception hierarchies are not hot-path instance factories."""
+
+
+class FineShape(Protocol):
+    """Clean: typing protocols are never instantiated."""
+
+    def area(self) -> float: ...
+
+
+class FineKind(Enum):
+    DATA = 1
+    CONTROL = 2

@@ -1,0 +1,22 @@
+"""Fixture: wall-clock time in a hot module where the sim clock rules (PERF005).
+
+``datetime.now()`` is double-marked: the determinism rule DET001 also
+fires on it, and fixtures run the full catalogue.
+"""
+# repro: hot-module
+
+import time
+from datetime import datetime
+
+
+def hot_pace(delay):
+    time.sleep(delay)  # EXPECT[PERF005]
+    return delay
+
+
+def hot_stamp():
+    return datetime.now()  # EXPECT[PERF005]  # EXPECT[DET001]
+
+
+def fine_injected(clock):
+    return clock.now
